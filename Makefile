@@ -1,0 +1,39 @@
+# Development targets for the lasmq reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One bench iteration per figure/table; see EXPERIMENTS.md for paper-scale runs.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure at paper scale (writes full_results.txt).
+reproduce:
+	$(GO) run ./cmd/lasmq-bench -repeats 3 -seed 1 | tee full_results.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/adhoc
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/miniyarn
+	$(GO) run ./examples/sparkdag
+	$(GO) run ./examples/geo
+
+clean:
+	rm -f full_results.txt test_output.txt bench_output.txt

@@ -1,0 +1,117 @@
+package lasmq_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lasmq"
+)
+
+func TestPublicAPIClusterRoundTrip(t *testing.T) {
+	specs, err := lasmq.GenerateWorkload(lasmq.DefaultWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 100 {
+		t.Fatalf("workload has %d jobs, want 100", len(specs))
+	}
+	mq, err := lasmq.NewScheduler(lasmq.DefaultSchedulerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lasmq.RunCluster(specs, mq, lasmq.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 100 || res.MeanResponseTime() <= 0 {
+		t.Fatalf("unexpected result: %d jobs, mean %v", len(res.Jobs), res.MeanResponseTime())
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	for _, p := range []lasmq.Scheduler{
+		lasmq.NewFIFO(), lasmq.NewFair(), lasmq.NewLAS(), lasmq.NewSJF(), lasmq.NewSRTF(),
+	} {
+		if p.Name() == "" {
+			t.Error("baseline scheduler without a name")
+		}
+	}
+}
+
+func TestPublicAPIIsolated(t *testing.T) {
+	specs, err := lasmq.GenerateWorkload(lasmq.DefaultWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := lasmq.RunIsolated(specs[0], lasmq.NewFIFO(), lasmq.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso <= 0 {
+		t.Errorf("isolated runtime = %v", iso)
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	tcfg := lasmq.DefaultFacebookTraceConfig()
+	tcfg.Jobs = 300
+	specs, err := lasmq.FacebookTrace(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lasmq.WriteTraceCSV(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lasmq.ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(specs) {
+		t.Fatalf("round trip lost jobs: %d != %d", len(back), len(specs))
+	}
+	fcfg := lasmq.DefaultFluidConfig()
+	fcfg.Capacity = tcfg.Capacity
+	res, err := lasmq.RunTrace(back, lasmq.NewLAS(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponseTime() <= 0 {
+		t.Errorf("trace mean response = %v", res.MeanResponseTime())
+	}
+}
+
+func TestPublicAPIUniformTrace(t *testing.T) {
+	specs, err := lasmq.UniformTrace(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lasmq.RunTrace(specs, lasmq.NewFair(), lasmq.FluidConfig{Capacity: 1, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact processor sharing: every job finishes at n*size.
+	for _, jr := range res.Jobs {
+		if math.Abs(jr.Completed-5000) > 1e-6 {
+			t.Fatalf("job %d completed at %v, want 5000", jr.ID, jr.Completed)
+		}
+	}
+}
+
+func TestPublicAPITableI(t *testing.T) {
+	types := lasmq.TableI()
+	if len(types) != 8 {
+		t.Fatalf("TableI has %d rows, want 8", len(types))
+	}
+}
+
+func TestPublicAPIFig1(t *testing.T) {
+	res, err := lasmq.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LASMQ["A"]-6) > 1e-2 {
+		t.Errorf("Fig1 LAS_MQ A = %v, want 6", res.LASMQ["A"])
+	}
+}

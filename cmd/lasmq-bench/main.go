@@ -1,0 +1,261 @@
+// Command lasmq-bench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports (normalized or
+// absolute average job response times); EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
+//	             table1|sjf-error|weights|adaptive|tradeoff|geo]
+//	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
+//	            [-csv-dir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lasmq/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasmq-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo)")
+		seed        = flag.Int64("seed", 1, "workload/trace synthesis seed")
+		repeats     = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
+		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
+		uniformJobs = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
+		csvDirFlag  = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
+	)
+	flag.Parse()
+	csvDir = *csvDirFlag
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	opts := experiments.Options{
+		Seed:        *seed,
+		Repeats:     *repeats,
+		TraceJobs:   *traceJobs,
+		UniformJobs: *uniformJobs,
+	}
+
+	runners := map[string]func(experiments.Options) error{
+		"table1":    showTableI,
+		"fig1":      showFig1,
+		"fig3":      showFig3,
+		"fig5":      showCluster(80, experiments.Fig5),
+		"fig6":      showCluster(50, experiments.Fig6),
+		"fig7a":     showFig7a,
+		"fig7b":     showFig7b,
+		"fig8a":     showFig8a,
+		"fig8b":     showFig8b,
+		"sjf-error": showSJFError,
+		"weights":   showWeights,
+		"adaptive":  showAdaptive,
+		"tradeoff":  showTradeoff,
+		"geo":       showGeo,
+	}
+	if *experiment != "all" {
+		runner, ok := runners[*experiment]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *experiment)
+		}
+		return timed(*experiment, func() error { return runner(opts) })
+	}
+	for _, name := range []string{
+		"table1", "fig1", "fig3", "fig5", "fig6",
+		"fig7a", "fig7b", "fig8a", "fig8b", "sjf-error", "weights",
+		"adaptive", "tradeoff", "geo",
+	} {
+		if err := timed(name, func() error { return runners[name](opts) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvDir, when non-empty, receives one CSV file per experiment.
+var csvDir string
+
+// writeCSV writes one experiment's series to <csvDir>/<name>.csv.
+func writeCSV(name string, write func(io.Writer) error) error {
+	if csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}
+
+func timed(name string, f func() error) error {
+	start := time.Now()
+	if err := f(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func showTableI(experiments.Options) error {
+	fmt.Println("== Table I: workload composition ==")
+	fmt.Print(experiments.TableIText())
+	return nil
+}
+
+func showFig1(experiments.Options) error {
+	res, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 1: motivating example (sizes 4, 4, 1) ==")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func showFig3(opts experiments.Options) error {
+	res, err := experiments.Fig3(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 3: design options (normalized over FAIR, 50 s interval) ==")
+	fmt.Print(res.Table())
+	return writeCSV("fig3", res.WriteCSV)
+}
+
+func showCluster(interval float64, f func(experiments.Options) (*experiments.ClusterResult, error)) func(experiments.Options) error {
+	return func(opts experiments.Options) error {
+		res, err := f(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Cluster experiment, %v s mean arrival interval ==\n", interval)
+		fmt.Print(res.Table())
+		fmt.Println("slowdowns:")
+		fmt.Print(res.SlowdownTable())
+		tag := fmt.Sprintf("fig_interval%v", interval)
+		if err := writeCSV(tag+"_bins", res.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeCSV(tag+"_cdf", func(w io.Writer) error { return res.WriteCDFCSV(w, 200) }); err != nil {
+			return err
+		}
+		return writeCSV(tag+"_slowdown", func(w io.Writer) error { return res.WriteSlowdownCSV(w, 200) })
+	}
+}
+
+func showFig7a(opts experiments.Options) error {
+	res, err := experiments.Fig7HeavyTailed(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 7a: heavy-tailed trace (Facebook-like, load 0.9) ==")
+	fmt.Print(res.Table())
+	return writeCSV("fig7a", res.WriteCSV)
+}
+
+func showFig7b(opts experiments.Options) error {
+	res, err := experiments.Fig7Uniform(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 7b: uniform workload (10,000 x size 10,000) ==")
+	fmt.Print(res.Table())
+	return writeCSV("fig7b", res.WriteCSV)
+}
+
+func showFig8a(opts experiments.Options) error {
+	res, err := experiments.Fig8Queues(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 8a: number of queues sweep ==")
+	fmt.Print(res.Table())
+	return writeCSV("fig8a", res.WriteCSV)
+}
+
+func showFig8b(opts experiments.Options) error {
+	res, err := experiments.Fig8Thresholds(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 8b: first-queue threshold sweep ==")
+	fmt.Print(res.Table())
+	return writeCSV("fig8b", res.WriteCSV)
+}
+
+func showSJFError(opts experiments.Options) error {
+	res, err := experiments.MotivationSJFError(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Motivation: SJF under size-estimate error (50 s interval) ==")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func showAdaptive(opts experiments.Options) error {
+	res, err := experiments.Adaptive(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: adaptive thresholds (heavy-tailed trace) ==")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func showTradeoff(opts experiments.Options) error {
+	points, err := experiments.Tradeoff(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: fairness/response tradeoff (LAS_MQ <-> FAIR blend) ==")
+	fmt.Print(experiments.TradeoffTable(points))
+	return nil
+}
+
+func showGeo(opts experiments.Options) error {
+	res, err := experiments.Geo(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: geo-distributed scheduling (3 sites, variable WAN) ==")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func showWeights(opts experiments.Options) error {
+	res, err := experiments.AblationWeights(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Ablation: cross-queue weight decay (normalized over FAIR) ==")
+	for _, decay := range []float64{1, 1.5, 2, 4, 8} {
+		fmt.Printf("decay %-4g -> %.2f\n", decay, res[decay])
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command lasmq-trace synthesizes and inspects the simulation traces: the
+// heavy-tailed Facebook-2010-like trace and the uniform light-tailed
+// workload, in the CSV format lasmq-sim replays.
+//
+// Usage:
+//
+//	lasmq-trace -kind facebook|uniform [-jobs N] [-seed 1] [-out trace.csv]
+//	lasmq-trace -describe trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"lasmq/internal/fluid"
+	"lasmq/internal/stats"
+	"lasmq/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasmq-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind     = flag.String("kind", "facebook", "trace kind: facebook or uniform")
+		jobs     = flag.Int("jobs", 0, "job count (default: paper scale)")
+		seed     = flag.Int64("seed", 1, "synthesis seed")
+		out      = flag.String("out", "", "output file (default: stdout)")
+		describe = flag.String("describe", "", "describe an existing CSV trace instead of generating")
+	)
+	flag.Parse()
+
+	if *describe != "" {
+		f, err := os.Open(*describe)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		specs, err := trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		describeTrace(os.Stdout, specs)
+		return nil
+	}
+
+	var (
+		specs []fluid.JobSpec
+		err   error
+	)
+	switch *kind {
+	case "facebook":
+		cfg := trace.DefaultFacebookConfig()
+		if *jobs > 0 {
+			cfg.Jobs = *jobs
+		}
+		cfg.Seed = *seed
+		specs, err = trace.Facebook(cfg)
+	case "uniform":
+		n := 10000
+		if *jobs > 0 {
+			n = *jobs
+		}
+		specs, err = trace.Uniform(n, 10000, *seed)
+	default:
+		return fmt.Errorf("unknown trace kind %q (want facebook or uniform)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, specs); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d jobs to %s\n", len(specs), *out)
+	}
+	return nil
+}
+
+func describeTrace(w io.Writer, specs []fluid.JobSpec) {
+	sizes := make([]float64, len(specs))
+	widths := make([]float64, len(specs))
+	var horizon float64
+	for i, s := range specs {
+		sizes[i] = s.Size
+		widths[i] = s.Width
+		if s.Arrival > horizon {
+			horizon = s.Arrival
+		}
+	}
+	sorted := append([]float64(nil), sizes...)
+	sort.Float64s(sorted)
+	var total float64
+	for _, s := range sorted {
+		total += s
+	}
+	sz := stats.Summarize(sizes)
+	fmt.Fprintf(w, "jobs: %d\n", len(specs))
+	fmt.Fprintf(w, "sizes: mean=%.4g median=%.4g p90=%.4g p99=%.4g max=%.4g\n",
+		sz.Mean, sz.P50, sz.P90, sz.P99, sz.Max)
+	fmt.Fprintf(w, "widths: mean=%.4g max=%.4g\n",
+		stats.Mean(widths), stats.Percentile(widths, 1))
+	fmt.Fprintf(w, "arrival horizon: %.4g\n", horizon)
+	if horizon > 0 {
+		fmt.Fprintf(w, "offered service rate: %.4g container-units/unit-time\n", total/horizon)
+	}
+	// Tail mass: fraction of total work in the top 1%% of jobs.
+	top := sorted[len(sorted)-max(1, len(sorted)/100):]
+	var topSum float64
+	for _, s := range top {
+		topSum += s
+	}
+	fmt.Fprintf(w, "work in top 1%% of jobs: %.1f%%\n", 100*topSum/total)
+}

@@ -1,0 +1,100 @@
+package lasmq_test
+
+import (
+	"fmt"
+
+	"lasmq"
+)
+
+// ExampleRunCluster schedules two hand-built jobs — one large, one small —
+// and shows LAS_MQ letting the late small job overtake the demoted large one.
+func ExampleRunCluster() {
+	mkJob := func(id int, name string, arrival float64, tasks int, dur float64) lasmq.JobSpec {
+		ts := make([]lasmq.TaskSpec, tasks)
+		for i := range ts {
+			ts[i] = lasmq.TaskSpec{Duration: dur, Containers: 1}
+		}
+		return lasmq.JobSpec{
+			ID: id, Name: name, Priority: 1, Arrival: arrival,
+			Stages: []lasmq.StageSpec{{Name: "map", Tasks: ts}},
+		}
+	}
+	specs := []lasmq.JobSpec{
+		mkJob(1, "large", 0, 100, 60),
+		mkJob(2, "small", 30, 2, 5),
+	}
+	scheduler, err := lasmq.NewScheduler(lasmq.DefaultSchedulerConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := lasmq.DefaultClusterConfig()
+	cfg.Containers = 20
+
+	result, err := lasmq.RunCluster(specs, scheduler, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, jr := range result.Jobs {
+		fmt.Printf("%s: response %.0f s\n", jr.Name, jr.ResponseTime)
+	}
+	// Output:
+	// large: response 305 s
+	// small: response 35 s
+}
+
+// ExampleRunTrace reproduces the paper's motivating example (Fig. 1): under
+// LAS, jobs A and B degrade to processor sharing; a 2-level multilevel queue
+// serves them one by one and cuts A's response time from 9 to 6.
+func ExampleRunTrace() {
+	specs := []lasmq.TraceJob{
+		{ID: 1, Arrival: 0, Size: 4, Width: 1, Priority: 1}, // A
+		{ID: 2, Arrival: 1, Size: 4, Width: 1, Priority: 1}, // B
+		{ID: 3, Arrival: 2, Size: 1, Width: 1, Priority: 1}, // C
+	}
+	cfg := lasmq.FluidConfig{Capacity: 1, TaskDuration: 1}
+
+	las, err := lasmq.RunTrace(specs, lasmq.NewLAS(), cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mqCfg := lasmq.DefaultSchedulerConfig()
+	mqCfg.Queues = 2
+	mqCfg.FirstThreshold = 1
+	mqCfg.QueueWeightDecay = 1e9 // strict priority, as in the paper's figure
+	mq, err := lasmq.NewScheduler(mqCfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mlq, err := lasmq.RunTrace(specs, mq, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("job A under LAS: %.0f\n", las.Jobs[0].ResponseTime)
+	fmt.Printf("job A under 2-level queue: %.0f\n", mlq.Jobs[0].ResponseTime)
+	// Output:
+	// job A under LAS: 9
+	// job A under 2-level queue: 6
+}
+
+// ExampleNewTradeoff blends LAS_MQ with Fair to trade mean response time for
+// fairness (the paper's future-work knob).
+func ExampleNewTradeoff() {
+	mq, err := lasmq.NewScheduler(lasmq.DefaultSchedulerConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	blend, err := lasmq.NewTradeoff(mq, lasmq.NewFair(), 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(blend.Name())
+	// Output:
+	// BLEND(LAS_MQ,FAIR,0.50)
+}

@@ -1,0 +1,87 @@
+// Data locality: store a 10 GB input in the HDFS-like block store (128 MB
+// blocks, replication 2, as on the paper's testbed), derive the job's map
+// tasks from its splits — exactly how the paper's implementation counts map
+// tasks — and watch the live cluster place maps next to their blocks.
+//
+// Run with:
+//
+//	go run ./examples/locality
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"lasmq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	store, err := lasmq.NewDFS(lasmq.DefaultDFSConfig())
+	if err != nil {
+		return err
+	}
+	blocks, err := store.AddFile("/data/events.log", 10<<30) // 10 GB
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored /data/events.log: %d blocks x 128 MB, replication 2\n", len(blocks))
+	fmt.Printf("bytes per node: %v\n", store.BytesOn())
+
+	// One map task per split (the paper's implementation does exactly this),
+	// running remote costs 3x (the block must cross the network).
+	loc, err := lasmq.LocalityFromDFS(store, "/data/events.log", 3)
+	if err != nil {
+		return err
+	}
+	spec := lasmq.JobSpec{
+		ID: 1, Name: "scan-events", Priority: 1,
+		Stages: []lasmq.StageSpec{{Name: "map", Tasks: mapTasks(store.Splits("/data/events.log"), 20)}},
+	}
+
+	scheduler, err := lasmq.NewScheduler(lasmq.DefaultSchedulerConfig())
+	if err != nil {
+		return err
+	}
+	cfg := lasmq.DefaultLiveClusterConfig()
+	cfg.TimeScale = 200 * time.Microsecond
+
+	cluster, err := lasmq.NewLiveCluster(cfg, scheduler)
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Shutdown()
+
+	if err := cluster.SubmitWithLocality(spec, loc); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reports, err := cluster.Drain(ctx)
+	if err != nil {
+		return err
+	}
+	r := reports[0]
+	fmt.Printf("\nscan finished in %.0f cluster-seconds\n", r.Response)
+	fmt.Printf("map placement: %d node-local, %d remote (3x slower each)\n",
+		r.LocalTasks, r.RemoteTasks)
+	fmt.Println("\nBalanced block placement plus replication keeps almost every map")
+	fmt.Println("task on a node that already holds its data.")
+	return nil
+}
+
+func mapTasks(n int, seconds float64) []lasmq.TaskSpec {
+	tasks := make([]lasmq.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = lasmq.TaskSpec{Duration: seconds, Containers: 1}
+	}
+	return tasks
+}

@@ -1,0 +1,3 @@
+module lasmq
+
+go 1.22

@@ -1,0 +1,54 @@
+package core
+
+import "lasmq/internal/sched"
+
+// QueueSample is one snapshot of LAS_MQ's per-queue job occupancy.
+type QueueSample struct {
+	Time  float64
+	Sizes []int
+}
+
+// QueueRecorder wraps a LAS_MQ scheduler and records per-queue occupancy
+// over virtual time — instrumentation for watching the multilevel queue at
+// work (small jobs churning through the top queues, large jobs settling at
+// the bottom). It is itself a sched.Scheduler and can be passed to any
+// engine.
+type QueueRecorder struct {
+	inner *LASMQ
+	every float64
+	last  float64
+
+	samples []QueueSample
+}
+
+var (
+	_ sched.Scheduler = (*QueueRecorder)(nil)
+	_ sched.Hinter    = (*QueueRecorder)(nil)
+)
+
+// NewQueueRecorder wraps inner, recording a snapshot at most every `every`
+// units of virtual time (0 records at every scheduling round).
+func NewQueueRecorder(inner *LASMQ, every float64) *QueueRecorder {
+	return &QueueRecorder{inner: inner, every: every, last: -1}
+}
+
+// Name implements sched.Scheduler.
+func (r *QueueRecorder) Name() string { return r.inner.Name() }
+
+// Assign implements sched.Scheduler: delegate, then snapshot.
+func (r *QueueRecorder) Assign(now float64, capacity float64, jobs []sched.JobView) sched.Assignment {
+	alloc := r.inner.Assign(now, capacity, jobs)
+	if r.last < 0 || now >= r.last+r.every {
+		r.last = now
+		r.samples = append(r.samples, QueueSample{Time: now, Sizes: r.inner.QueueSizes()})
+	}
+	return alloc
+}
+
+// Horizon implements sched.Hinter by delegation.
+func (r *QueueRecorder) Horizon(now float64, jobs []sched.JobView, alloc sched.Assignment) float64 {
+	return r.inner.Horizon(now, jobs, alloc)
+}
+
+// Samples returns the recorded snapshots in time order.
+func (r *QueueRecorder) Samples() []QueueSample { return r.samples }

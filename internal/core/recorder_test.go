@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"lasmq/internal/core"
+	"lasmq/internal/engine"
+	"lasmq/internal/sched"
+	"lasmq/internal/workload"
+)
+
+func TestQueueRecorderSnapshots(t *testing.T) {
+	mq := newLASMQ(t, nil)
+	rec := core.NewQueueRecorder(mq, 0)
+
+	j1 := job(1, 1, 0, 10)
+	j2 := job(2, 2, 5000, 10)
+	rec.Assign(0, 100, views(j1, j2))
+	rec.Assign(1, 100, views(j1, j2))
+
+	samples := rec.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if samples[0].Time != 0 || samples[1].Time != 1 {
+		t.Errorf("sample times = %v, %v", samples[0].Time, samples[1].Time)
+	}
+	// j1 in queue 0, j2 (5000 > 1000) in queue 2.
+	if samples[0].Sizes[0] != 1 || samples[0].Sizes[2] != 1 {
+		t.Errorf("queue sizes = %v, want job in queues 0 and 2", samples[0].Sizes)
+	}
+}
+
+func TestQueueRecorderSpacing(t *testing.T) {
+	mq := newLASMQ(t, nil)
+	rec := core.NewQueueRecorder(mq, 10)
+	j := job(1, 1, 0, 10)
+	for now := 0.0; now < 35; now++ {
+		rec.Assign(now, 100, views(j))
+	}
+	samples := rec.Samples()
+	// At times 0, 10, 20, 30.
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4: %v", len(samples), samples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time-samples[i-1].Time < 10 {
+			t.Errorf("samples %v and %v closer than spacing", samples[i-1].Time, samples[i].Time)
+		}
+	}
+}
+
+func TestQueueRecorderEndToEnd(t *testing.T) {
+	// Drive a whole engine run through the recorder: a large job must be
+	// observed in progressively deeper queues.
+	mq := newLASMQ(t, nil)
+	rec := core.NewQueueRecorder(mq, 0)
+
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = 4
+	specs, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs = specs[:20]
+	if _, err := engine.Run(specs, rec, engine.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	deepest := 0
+	for _, s := range samples {
+		for q, n := range s.Sizes {
+			if n > 0 && q > deepest {
+				deepest = q
+			}
+		}
+	}
+	if deepest < 2 {
+		t.Errorf("deepest occupied queue = %d; large jobs never demoted past queue 1?", deepest)
+	}
+	if rec.Name() != "LAS_MQ" {
+		t.Errorf("Name = %q", rec.Name())
+	}
+	_ = sched.Scheduler(rec)
+}

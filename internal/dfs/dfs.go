@@ -1,0 +1,196 @@
+// Package dfs is a miniature HDFS-like block store: files are split into
+// fixed-size blocks, blocks are replicated across nodes with balanced
+// placement, and clients ask which nodes hold a block so map tasks can run
+// data-local — the paper's testbed ran HDFS with 128 MB blocks and
+// replication factor 2, and its implementation derives the number of map
+// tasks from the input's splits.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes the store.
+type Config struct {
+	// Nodes is the number of datanodes.
+	Nodes int
+	// BlockSize is the block size in bytes (the paper's testbed: 128 MB).
+	BlockSize int64
+	// Replication is the number of replicas per block (the paper's
+	// testbed: 2).
+	Replication int
+}
+
+// DefaultConfig mirrors the paper's HDFS settings on a 4-node cluster.
+func DefaultConfig() Config {
+	return Config{Nodes: 4, BlockSize: 128 << 20, Replication: 2}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("dfs: nodes must be positive, got %d", c.Nodes)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("dfs: block size must be positive, got %d", c.BlockSize)
+	}
+	if c.Replication <= 0 {
+		return fmt.Errorf("dfs: replication must be positive, got %d", c.Replication)
+	}
+	if c.Replication > c.Nodes {
+		return fmt.Errorf("dfs: replication %d exceeds node count %d", c.Replication, c.Nodes)
+	}
+	return nil
+}
+
+// Block identifies one block of a file.
+type Block struct {
+	File  string
+	Index int
+	// Size is the block's actual size (the last block may be short).
+	Size int64
+	// Replicas are the node indices holding the block.
+	Replicas []int
+}
+
+// Store is the namenode: file → block → replica metadata. It is not safe
+// for concurrent mutation; simulations populate it up front.
+type Store struct {
+	cfg    Config
+	files  map[string][]Block
+	perNod []int64 // bytes stored per node (for balanced placement)
+}
+
+// New returns an empty store.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Store{
+		cfg:    cfg,
+		files:  make(map[string][]Block),
+		perNod: make([]int64, cfg.Nodes),
+	}, nil
+}
+
+// AddFile splits a file of the given size into blocks and places replicas,
+// least-loaded nodes first (balanced placement). It returns the blocks.
+func (s *Store) AddFile(name string, size int64) ([]Block, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dfs: file %q has non-positive size %d", name, size)
+	}
+	if _, exists := s.files[name]; exists {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	var blocks []Block
+	for index, remaining := 0, size; remaining > 0; index++ {
+		blockSize := s.cfg.BlockSize
+		if remaining < blockSize {
+			blockSize = remaining
+		}
+		remaining -= blockSize
+		replicas := s.pickNodes(blockSize)
+		blocks = append(blocks, Block{
+			File:     name,
+			Index:    index,
+			Size:     blockSize,
+			Replicas: replicas,
+		})
+	}
+	s.files[name] = blocks
+	return blocks, nil
+}
+
+// pickNodes chooses the Replication least-loaded nodes (ties by index) and
+// accounts the stored bytes.
+func (s *Store) pickNodes(blockSize int64) []int {
+	type load struct {
+		node  int
+		bytes int64
+	}
+	loads := make([]load, s.cfg.Nodes)
+	for i := range loads {
+		loads[i] = load{node: i, bytes: s.perNod[i]}
+	}
+	sort.SliceStable(loads, func(i, j int) bool {
+		if loads[i].bytes != loads[j].bytes {
+			return loads[i].bytes < loads[j].bytes
+		}
+		return loads[i].node < loads[j].node
+	})
+	replicas := make([]int, 0, s.cfg.Replication)
+	for i := 0; i < s.cfg.Replication; i++ {
+		replicas = append(replicas, loads[i].node)
+		s.perNod[loads[i].node] += blockSize
+	}
+	sort.Ints(replicas)
+	return replicas
+}
+
+// Blocks returns a deep copy of a file's blocks (nil if unknown).
+func (s *Store) Blocks(name string) []Block {
+	blocks, ok := s.files[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Block, len(blocks))
+	for i, b := range blocks {
+		out[i] = b
+		out[i].Replicas = append([]int(nil), b.Replicas...)
+	}
+	return out
+}
+
+// Splits returns the number of blocks of a file — the paper's implementation
+// derives the total number of map tasks "by examining the number of splits
+// of the inputs".
+func (s *Store) Splits(name string) int { return len(s.files[name]) }
+
+// HoldersOf reports the nodes holding block index of the file, or nil.
+func (s *Store) HoldersOf(name string, index int) []int {
+	blocks := s.files[name]
+	if index < 0 || index >= len(blocks) {
+		return nil
+	}
+	out := make([]int, len(blocks[index].Replicas))
+	copy(out, blocks[index].Replicas)
+	return out
+}
+
+// IsLocal reports whether node holds a replica of the block.
+func (s *Store) IsLocal(name string, index, node int) bool {
+	for _, n := range s.HoldersOf(name, index) {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// BytesOn reports the bytes stored per node (replicas counted).
+func (s *Store) BytesOn() []int64 {
+	out := make([]int64, len(s.perNod))
+	copy(out, s.perNod)
+	return out
+}
+
+// Imbalance reports max/min stored bytes across nodes (1 = perfectly
+// balanced; +Inf if some node is empty while another is not).
+func (s *Store) Imbalance() float64 {
+	var minBytes, maxBytes int64 = -1, 0
+	for _, b := range s.perNod {
+		if b > maxBytes {
+			maxBytes = b
+		}
+		if minBytes < 0 || b < minBytes {
+			minBytes = b
+		}
+	}
+	if maxBytes == 0 {
+		return 1
+	}
+	if minBytes == 0 {
+		return float64(maxBytes) // effectively unbounded; avoid Inf for callers
+	}
+	return float64(maxBytes) / float64(minBytes)
+}

@@ -1,0 +1,194 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.Replication = 0 },
+		func(c *Config) { c.Replication = c.Nodes + 1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAddFileSplitsIntoBlocks(t *testing.T) {
+	cfg := Config{Nodes: 4, BlockSize: 128, Replication: 2}
+	s := mustStore(t, cfg)
+	blocks, err := s.AddFile("input", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3 (300 bytes / 128)", len(blocks))
+	}
+	if blocks[0].Size != 128 || blocks[1].Size != 128 || blocks[2].Size != 44 {
+		t.Errorf("block sizes = %d,%d,%d, want 128,128,44",
+			blocks[0].Size, blocks[1].Size, blocks[2].Size)
+	}
+	for i, b := range blocks {
+		if b.Index != i || b.File != "input" {
+			t.Errorf("block %d metadata = %+v", i, b)
+		}
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", i, len(b.Replicas))
+		}
+		seen := make(map[int]bool)
+		for _, n := range b.Replicas {
+			if n < 0 || n >= cfg.Nodes {
+				t.Errorf("block %d on unknown node %d", i, n)
+			}
+			if seen[n] {
+				t.Errorf("block %d replicated twice on node %d", i, n)
+			}
+			seen[n] = true
+		}
+	}
+	if s.Splits("input") != 3 {
+		t.Errorf("Splits = %d, want 3", s.Splits("input"))
+	}
+}
+
+func TestAddFileValidation(t *testing.T) {
+	s := mustStore(t, DefaultConfig())
+	if _, err := s.AddFile("x", 0); err == nil {
+		t.Error("expected error for empty file")
+	}
+	if _, err := s.AddFile("x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddFile("x", 100); err == nil {
+		t.Error("expected error for duplicate file")
+	}
+}
+
+func TestBalancedPlacement(t *testing.T) {
+	cfg := Config{Nodes: 4, BlockSize: 1, Replication: 2}
+	s := mustStore(t, cfg)
+	if _, err := s.AddFile("big", 100); err != nil { // 100 blocks x 2 replicas
+		t.Fatal(err)
+	}
+	if imb := s.Imbalance(); imb > 1.1 {
+		t.Errorf("imbalance = %v, want near 1 for equal blocks", imb)
+	}
+	total := int64(0)
+	for _, b := range s.BytesOn() {
+		total += b
+	}
+	if total != 200 {
+		t.Errorf("total stored bytes = %d, want 200 (100 blocks x 2)", total)
+	}
+}
+
+func TestHoldersAndLocality(t *testing.T) {
+	cfg := Config{Nodes: 3, BlockSize: 10, Replication: 2}
+	s := mustStore(t, cfg)
+	if _, err := s.AddFile("f", 25); err != nil {
+		t.Fatal(err)
+	}
+	holders := s.HoldersOf("f", 0)
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v", holders)
+	}
+	for _, n := range holders {
+		if !s.IsLocal("f", 0, n) {
+			t.Errorf("IsLocal false for holder %d", n)
+		}
+	}
+	for n := 0; n < 3; n++ {
+		isHolder := n == holders[0] || n == holders[1]
+		if s.IsLocal("f", 0, n) != isHolder {
+			t.Errorf("IsLocal(%d) = %v", n, s.IsLocal("f", 0, n))
+		}
+	}
+	if s.HoldersOf("f", 99) != nil {
+		t.Error("holders of unknown block should be nil")
+	}
+	if s.HoldersOf("nope", 0) != nil {
+		t.Error("holders of unknown file should be nil")
+	}
+}
+
+func TestBlocksCopyIsolated(t *testing.T) {
+	s := mustStore(t, Config{Nodes: 2, BlockSize: 10, Replication: 1})
+	if _, err := s.AddFile("f", 10); err != nil {
+		t.Fatal(err)
+	}
+	blocks := s.Blocks("f")
+	blocks[0].Replicas[0] = 99
+	if s.HoldersOf("f", 0)[0] == 99 {
+		t.Error("mutating returned blocks leaked into the store")
+	}
+}
+
+func TestPlacementPropertyReplicasDistinct(t *testing.T) {
+	f := func(nFiles uint8, sizeRaw uint16) bool {
+		cfg := Config{Nodes: 5, BlockSize: 64, Replication: 3}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for i := 0; i <= int(nFiles%10); i++ {
+			size := int64(sizeRaw%2000) + 1
+			blocks, err := s.AddFile(fileName(i), size)
+			if err != nil {
+				return false
+			}
+			var total int64
+			for _, b := range blocks {
+				total += b.Size
+				if len(b.Replicas) != 3 {
+					return false
+				}
+				seen := make(map[int]bool)
+				for _, n := range b.Replicas {
+					if n < 0 || n >= 5 || seen[n] {
+						return false
+					}
+					seen[n] = true
+				}
+			}
+			if total != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fileName(i int) string { return "file-" + string(rune('a'+i)) }
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	s := mustStore(t, Config{Nodes: 2, BlockSize: 10, Replication: 1})
+	if got := s.Imbalance(); got != 1 {
+		t.Errorf("empty store imbalance = %v, want 1", got)
+	}
+	if _, err := s.AddFile("f", 5); err != nil {
+		t.Fatal(err)
+	}
+	// One block on one node, nothing on the other.
+	if got := s.Imbalance(); got <= 1 {
+		t.Errorf("imbalance = %v, want > 1 with one empty node", got)
+	}
+}

@@ -1,0 +1,87 @@
+// Package dist provides the seeded random distributions used by the workload
+// and trace generators. Every function takes an explicit *rand.Rand so that
+// all randomness in a simulation flows from seeds owned by the caller and
+// identical seeds reproduce identical runs.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// New returns a deterministic generator for the given seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// It returns 0 if mean <= 0.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Lognormal draws exp(N(mu, sigma^2)).
+func Lognormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// LognormalMean draws a lognormal sample with the given mean and shape
+// parameter sigma. The location parameter is derived as
+// mu = ln(mean) - sigma^2/2 so that E[X] = mean.
+func LognormalMean(r *rand.Rand, mean, sigma float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return Lognormal(r, mu, sigma)
+}
+
+// BoundedPareto draws from a bounded Pareto distribution on [lo, hi] with
+// shape alpha, via inverse-transform sampling.
+func BoundedPareto(r *rand.Rand, alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		return lo
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	return math.Min(math.Max(x, lo), hi)
+}
+
+// IntBetween draws a uniform integer in [lo, hi] inclusive.
+func IntBetween(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// PoissonProcess generates arrival times of a Poisson process.
+type PoissonProcess struct {
+	r    *rand.Rand
+	mean float64 // mean inter-arrival time
+	now  float64
+}
+
+// NewPoissonProcess returns a process whose inter-arrival times are
+// exponential with the given mean. It returns an error if mean is not
+// positive.
+func NewPoissonProcess(r *rand.Rand, meanInterval float64) (*PoissonProcess, error) {
+	if meanInterval <= 0 {
+		return nil, fmt.Errorf("dist: mean interval must be positive, got %v", meanInterval)
+	}
+	return &PoissonProcess{r: r, mean: meanInterval}, nil
+}
+
+// Next returns the next arrival time. Arrival times are strictly
+// non-decreasing.
+func (p *PoissonProcess) Next() float64 {
+	p.now += Exponential(p.r, p.mean)
+	return p.now
+}

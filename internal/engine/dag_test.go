@@ -1,0 +1,201 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"lasmq/internal/engine"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// stage builds a stage of n 1-container tasks with explicit dependencies.
+func stage(name string, n int, duration float64, deps ...int) job.StageSpec {
+	tasks := make([]job.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = job.TaskSpec{Duration: duration, Containers: 1}
+	}
+	if deps == nil {
+		deps = []int{}
+	}
+	return job.StageSpec{Name: name, Tasks: tasks, DependsOn: deps}
+}
+
+func TestDAGDiamond(t *testing.T) {
+	// scan -> {filter, aggregate} -> join: the two middle branches run
+	// concurrently, so the critical path is 10 + max(20, 5) + 10 = 40.
+	spec := job.Spec{
+		ID: 1, Name: "diamond", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("scan", 4, 10),
+			stage("filter", 2, 20, 0),
+			stage("aggregate", 2, 5, 0),
+			stage("join", 2, 10, 1, 2),
+		},
+	}
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFIFO(), engine.Config{Containers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].ResponseTime; got != 40 {
+		t.Errorf("diamond response = %v, want 40 (parallel branches)", got)
+	}
+	// The linear chain of the same stages would need 10+20+5+10 = 45.
+}
+
+func TestDAGIndependentRoots(t *testing.T) {
+	// Two independent root stages start together; a final stage joins them.
+	spec := job.Spec{
+		ID: 1, Name: "roots", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("left", 3, 10),
+			stage("right", 3, 10, []int{}...), // explicit empty: also a root
+			stage("merge", 1, 5, 0, 1),
+		},
+	}
+	// Force the explicit empty slice (stage helper turns nil into empty).
+	spec.Stages[1].DependsOn = []int{}
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFIFO(), engine.Config{Containers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].ResponseTime; got != 15 {
+		t.Errorf("response = %v, want 15 (roots in parallel, then merge)", got)
+	}
+}
+
+func TestDAGLinearDefaultUnchanged(t *testing.T) {
+	// nil DependsOn keeps the Hadoop map->reduce chain semantics.
+	spec := job.Spec{
+		ID: 1, Name: "chain", Priority: 1,
+		Stages: []job.StageSpec{
+			{Name: "map", Tasks: []job.TaskSpec{{Duration: 10, Containers: 1}}},
+			{Name: "reduce", Tasks: []job.TaskSpec{{Duration: 5, Containers: 2}}},
+		},
+	}
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFIFO(), engine.Config{Containers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].ResponseTime; got != 15 {
+		t.Errorf("response = %v, want 15 (sequential stages)", got)
+	}
+}
+
+func TestDAGWideFanOut(t *testing.T) {
+	// One root fanning out to 4 independent branches, all joined at the end.
+	stages := []job.StageSpec{stage("root", 2, 5)}
+	for i := 0; i < 4; i++ {
+		stages = append(stages, stage("branch", 2, 10, 0))
+	}
+	stages = append(stages, stage("sink", 1, 5, 1, 2, 3, 4))
+	spec := job.Spec{ID: 1, Name: "fan", Priority: 1, Stages: stages}
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFIFO(), engine.Config{Containers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].ResponseTime; got != 20 {
+		t.Errorf("response = %v, want 20 (5 + 10 parallel + 5)", got)
+	}
+}
+
+func TestDAGBranchCapacityContention(t *testing.T) {
+	// Branches are parallel in the DAG but must still share containers.
+	spec := job.Spec{
+		ID: 1, Name: "contended", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("root", 1, 1),
+			stage("a", 4, 10, 0),
+			stage("b", 4, 10, 0),
+		},
+	}
+	// Only 4 containers: the 8 branch tasks need two waves.
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFIFO(), engine.Config{Containers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].ResponseTime; got != 21 {
+		t.Errorf("response = %v, want 21 (1 + two 10s waves)", got)
+	}
+}
+
+func TestDAGValidationCycle(t *testing.T) {
+	spec := job.Spec{
+		ID: 1, Name: "cycle", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("a", 1, 1, 1),
+			stage("b", 1, 1, 0),
+		},
+	}
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestDAGValidationBadIndex(t *testing.T) {
+	spec := job.Spec{
+		ID: 1, Name: "bad", Priority: 1,
+		Stages: []job.StageSpec{stage("a", 1, 1, 7)},
+	}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Validate = %v, want out-of-range error", err)
+	}
+	spec.Stages[0].DependsOn = []int{0}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Errorf("Validate = %v, want self-dependency error", err)
+	}
+}
+
+func TestDAGStageAwareEstimateCoversActiveBranches(t *testing.T) {
+	// With two active branches, LAS_MQ's demotion metric should reflect both
+	// branches' projected service, demoting the job faster than a job with a
+	// single equal-sized active stage completes its estimate. Behavioural
+	// check: a DAG job with heavy parallel branches is demoted and a small
+	// late job overtakes it.
+	heavy := job.Spec{
+		ID: 1, Name: "heavy-dag", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("root", 1, 1),
+			stage("a", 30, 40, 0),
+			stage("b", 30, 40, 0),
+		},
+	}
+	small := job.Spec{
+		ID: 2, Name: "small", Priority: 1, Arrival: 30,
+		Stages: []job.StageSpec{stage("s", 2, 2)},
+	}
+	mq := newLASMQ(t)
+	res, err := engine.Run([]job.Spec{heavy, small}, mq, engine.Config{Containers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[1].ResponseTime > res.Jobs[0].ResponseTime/5 {
+		t.Errorf("small job response %v not well below heavy DAG job %v",
+			res.Jobs[1].ResponseTime, res.Jobs[0].ResponseTime)
+	}
+}
+
+func TestDAGWithFailures(t *testing.T) {
+	spec := job.Spec{
+		ID: 1, Name: "dag-failures", Priority: 1,
+		Stages: []job.StageSpec{
+			stage("scan", 6, 5),
+			stage("left", 4, 8, 0),
+			stage("right", 4, 8, 0),
+			stage("join", 2, 5, 1, 2),
+		},
+	}
+	cfg := engine.Config{Containers: 8, FailureProb: 0.25, Seed: 5, StragglerFactor: 3}
+	res, err := engine.Run([]job.Spec{spec}, sched.NewFair(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if jr.Failures == 0 {
+		t.Error("expected failures at FailureProb=0.25")
+	}
+	if jr.ResponseTime <= 18 {
+		t.Errorf("response %v should exceed the failure-free critical path 18", jr.ResponseTime)
+	}
+}

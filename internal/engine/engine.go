@@ -1,0 +1,671 @@
+// Package engine is the task-level discrete-event cluster simulator — the
+// YARN substrate the paper's scheduler plugs into. It models a cluster as a
+// pool of identical containers, runs jobs stage by stage (reduce tasks only
+// start once the map stage completes), feeds schedulers the exact inputs the
+// paper's implementation observes (attained service, stage progress,
+// remaining-task container demand), and mirrors the implementation section's
+// architecture: a job-admission module bounding concurrently running jobs,
+// task-status monitoring that counts only successful task attempts, and
+// work-conserving leftover allocation with optional speculative execution.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lasmq/internal/dist"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Containers is the cluster capacity (the paper's testbed starts up to
+	// 120 containers of 1 vcore / 2 GB).
+	Containers int
+	// MaxRunningJobs bounds concurrently running jobs (the paper's job
+	// admission module; 30 in the experiments). Zero means unlimited.
+	MaxRunningJobs int
+	// FailureProb is the probability that a task attempt fails after
+	// consuming part of its duration; failed tasks are re-queued, and their
+	// consumed container time still counts toward attained service (the
+	// paper's status monitor filters unsuccessful attempts out of the
+	// remaining-task counters only).
+	FailureProb float64
+	// StragglerProb is the probability that an attempt is a straggler.
+	StragglerProb float64
+	// StragglerFactor multiplies a straggler attempt's duration (> 1).
+	StragglerFactor float64
+	// Speculation launches duplicate copies of running tasks on leftover
+	// containers (the paper's work-conservation remark); whichever attempt
+	// finishes first completes the task and the other copy is killed.
+	Speculation bool
+	// Seed drives failure and straggler sampling.
+	Seed int64
+	// SampleInterval, when positive, records a cluster timeline sample
+	// (container usage, running and waiting jobs) at most every
+	// SampleInterval seconds of virtual time.
+	SampleInterval float64
+}
+
+// DefaultConfig returns the paper's testbed configuration with failures,
+// stragglers and speculation disabled.
+func DefaultConfig() Config {
+	return Config{
+		Containers:      120,
+		MaxRunningJobs:  30,
+		StragglerFactor: 3,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Containers <= 0 {
+		return fmt.Errorf("engine: containers must be positive, got %d", c.Containers)
+	}
+	if c.MaxRunningJobs < 0 {
+		return fmt.Errorf("engine: max running jobs must be >= 0, got %d", c.MaxRunningJobs)
+	}
+	if c.FailureProb < 0 || c.FailureProb >= 1 {
+		return fmt.Errorf("engine: failure probability must be in [0,1), got %v", c.FailureProb)
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return fmt.Errorf("engine: straggler probability must be in [0,1], got %v", c.StragglerProb)
+	}
+	if c.StragglerProb > 0 && c.StragglerFactor <= 1 {
+		return fmt.Errorf("engine: straggler factor must be > 1, got %v", c.StragglerFactor)
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("engine: sample interval must be >= 0, got %v", c.SampleInterval)
+	}
+	return nil
+}
+
+// Sample is one point of the cluster timeline (recorded when
+// Config.SampleInterval is positive).
+type Sample struct {
+	Time           float64
+	UsedContainers int
+	RunningJobs    int
+	WaitingJobs    int
+}
+
+// JobResult reports one finished job.
+type JobResult struct {
+	ID           int
+	Name         string
+	Bin          int
+	Arrival      float64 // submission time
+	Admitted     float64 // time the admission module released the job
+	Completed    float64 // completion time
+	ResponseTime float64 // Completed - Arrival
+	Service      float64 // container-seconds consumed (incl. failed/killed attempts)
+	Attempts     int     // task attempts launched
+	Failures     int     // failed attempts
+	Speculative  int     // speculative attempts launched
+}
+
+// Result reports a whole simulation run.
+type Result struct {
+	Scheduler string
+	Jobs      []JobResult
+	Makespan  float64
+	// Utilization is the time-averaged fraction of containers busy over the
+	// makespan.
+	Utilization float64
+	// PeakUsage is the maximum number of containers simultaneously busy.
+	PeakUsage int
+	// Timeline holds utilization samples when Config.SampleInterval > 0.
+	Timeline []Sample
+}
+
+// ResponseTimes returns the per-job response times, in workload order.
+func (r *Result) ResponseTimes() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i := range r.Jobs {
+		out[i] = r.Jobs[i].ResponseTime
+	}
+	return out
+}
+
+// MeanResponseTime returns the average job response time, the paper's primary
+// metric.
+func (r *Result) MeanResponseTime() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range r.Jobs {
+		sum += r.Jobs[i].ResponseTime
+	}
+	return sum / float64(len(r.Jobs))
+}
+
+// Run simulates the workload under the given scheduling policy and returns
+// per-job results. The scheduler instance must be fresh (stateful policies
+// such as LAS_MQ remember queue membership between rounds).
+func Run(specs []job.Spec, policy sched.Scheduler, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("engine: nil scheduler")
+	}
+	if err := job.ValidateAll(specs); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	s := newSim(specs, policy, cfg)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+// RunIsolated simulates a single job alone on the cluster and returns its
+// completion time, the denominator of the paper's slowdown metric. Failures,
+// stragglers and speculation are disabled so the baseline is deterministic.
+func RunIsolated(spec job.Spec, policy sched.Scheduler, cfg Config) (float64, error) {
+	cfg.FailureProb = 0
+	cfg.StragglerProb = 0
+	cfg.Speculation = false
+	cfg.MaxRunningJobs = 0
+	spec.Arrival = 0
+	res, err := Run([]job.Spec{spec}, policy, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Jobs[0].ResponseTime, nil
+}
+
+// Event kinds inside the simulator.
+const (
+	evArrival = iota + 1
+	evAttemptDone
+)
+
+type event struct {
+	kind    int
+	jobID   int
+	attempt int // attempt index for evAttemptDone
+}
+
+type sim struct {
+	cfg    Config
+	policy sched.Scheduler
+	rng    *rand.Rand
+
+	jobs     map[int]*jobState
+	order    []int // job IDs in workload order (deterministic iteration)
+	attempts []*attempt
+
+	queue     eventHeap
+	waiting   []*jobState // arrived, not yet admitted (FIFO)
+	running   int         // admitted and not completed
+	remaining int         // jobs not yet completed
+	usedSlots int         // containers currently occupied
+	nextSeq   int         // admission sequence counter
+	now       float64
+	makespan  float64
+
+	busyIntegral float64 // container-seconds delivered (for utilization)
+	peakUsage    int
+	timeline     []Sample
+	lastSample   float64
+}
+
+func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
+	s := &sim{
+		cfg:       cfg,
+		policy:    policy,
+		rng:       dist.New(cfg.Seed),
+		jobs:      make(map[int]*jobState, len(specs)),
+		remaining: len(specs),
+	}
+	for i := range specs {
+		js := newJobState(&specs[i])
+		s.jobs[js.spec.ID] = js
+		s.order = append(s.order, js.spec.ID)
+		s.queue.push(specs[i].Arrival, event{kind: evArrival, jobID: specs[i].ID})
+	}
+	return s
+}
+
+func (s *sim) run() error {
+	for s.remaining > 0 {
+		t, batch, ok := s.queue.popBatch()
+		if !ok {
+			return fmt.Errorf("engine: deadlock at t=%v with %d unfinished jobs", s.now, s.remaining)
+		}
+		if t < s.now {
+			return fmt.Errorf("engine: time went backwards: %v -> %v", s.now, t)
+		}
+		s.busyIntegral += float64(s.usedSlots) * (t - s.now)
+		s.now = t
+		for _, ev := range batch {
+			switch ev.kind {
+			case evArrival:
+				s.handleArrival(ev.jobID)
+			case evAttemptDone:
+				s.handleAttemptDone(ev.attempt)
+			}
+		}
+		s.admit()
+		s.schedule()
+		s.sample()
+	}
+	return nil
+}
+
+// sample records a timeline point if sampling is on and due.
+func (s *sim) sample() {
+	if s.cfg.SampleInterval <= 0 {
+		return
+	}
+	if len(s.timeline) > 0 && s.now < s.lastSample+s.cfg.SampleInterval {
+		return
+	}
+	s.lastSample = s.now
+	s.timeline = append(s.timeline, Sample{
+		Time:           s.now,
+		UsedContainers: s.usedSlots,
+		RunningJobs:    s.running,
+		WaitingJobs:    len(s.waiting),
+	})
+}
+
+func (s *sim) handleArrival(jobID int) {
+	js := s.jobs[jobID]
+	js.arrived = true
+	s.waiting = append(s.waiting, js)
+}
+
+// admit releases waiting jobs into the cluster while the admission limit
+// allows, in arrival order (the paper's job-admission module).
+func (s *sim) admit() {
+	for len(s.waiting) > 0 {
+		if s.cfg.MaxRunningJobs > 0 && s.running >= s.cfg.MaxRunningJobs {
+			return
+		}
+		js := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		js.admitted = true
+		js.admittedAt = s.now
+		js.seq = s.nextSeq
+		s.nextSeq++
+		s.running++
+	}
+}
+
+func (s *sim) handleAttemptDone(attemptID int) {
+	a := s.attempts[attemptID]
+	if a.ended {
+		return // killed earlier (a speculative sibling won)
+	}
+	s.finishAttempt(a)
+	js := s.jobs[a.jobID]
+	st := &js.stages[a.stage]
+	task := &st.tasks[a.task]
+	task.runningAttempts--
+
+	if !a.success {
+		js.failures++
+		// Re-queue the task unless a sibling attempt is still running.
+		if task.runningAttempts == 0 && !task.done {
+			s.requeueTask(st, a.task)
+		}
+		return
+	}
+
+	if task.done {
+		return // a sibling attempt already completed this task
+	}
+	task.done = true
+	st.doneTasks++
+	st.doneContainers += task.spec.Containers
+
+	// Kill the remaining sibling attempts of the completed task.
+	for _, sibID := range task.attemptIDs {
+		sib := s.attempts[sibID]
+		if !sib.ended {
+			s.finishAttempt(sib)
+			task.runningAttempts--
+		}
+	}
+
+	if st.doneTasks == len(st.tasks) && !st.completed {
+		s.completeStage(js, a.stage)
+	}
+}
+
+func (s *sim) requeueTask(st *stageState, taskIdx int) {
+	task := &st.tasks[taskIdx]
+	task.ready = true
+	st.readyIdx = append(st.readyIdx, taskIdx)
+	st.readyContainers += task.spec.Containers
+}
+
+// finishAttempt finalizes service accounting for an attempt that ended
+// (successfully, by failure, or killed) and releases its containers.
+func (s *sim) finishAttempt(a *attempt) {
+	a.ended = true
+	consumed := float64(a.containers) * (s.now - a.start)
+	js := s.jobs[a.jobID]
+	st := &js.stages[a.stage]
+
+	js.finalizedService += consumed
+	js.usage -= a.containers
+	js.runStartWeight -= float64(a.containers) * a.start
+
+	st.finalizedService += consumed
+	st.usage -= a.containers
+	st.runStartWeight -= float64(a.containers) * a.start
+
+	if a.invDur > 0 {
+		st.invDurSum -= a.invDur
+		st.startInvDurSum -= a.invDur * a.start
+		// Progress contributed by an unfinished primary attempt disappears
+		// with it; completed tasks are counted via doneTasks instead.
+	}
+	s.usedSlots -= a.containers
+}
+
+// completeStage marks a stage done and unlocks dependents whose dependencies
+// are now all satisfied (dependency handling: reduce tasks only become ready
+// once the map stage completes; Spark DAG branches unlock independently).
+func (s *sim) completeStage(js *jobState, idx int) {
+	st := &js.stages[idx]
+	st.completed = true
+	st.active = false
+	js.completedStagesService += st.finalizedService
+	js.doneStages++
+	js.deactivateStage(idx)
+	for _, dep := range st.dependents {
+		next := &js.stages[dep]
+		next.remainingDeps--
+		if next.remainingDeps == 0 {
+			js.activateStage(dep)
+		}
+	}
+	if js.doneStages < len(js.stages) {
+		return
+	}
+	// All stages complete: the job is done.
+	js.completed = true
+	js.completedAt = s.now
+	s.running--
+	s.remaining--
+	if s.now > s.makespan {
+		s.makespan = s.now
+	}
+}
+
+// schedule runs one scheduling round: query the policy, quantize its shares
+// to whole containers, launch ready tasks up to each job's target, then apply
+// work-conserving leftover allocation and optional speculation.
+func (s *sim) schedule() {
+	views, demand := s.views()
+	if len(views) == 0 {
+		return
+	}
+	alloc := s.policy.Assign(s.now, float64(s.cfg.Containers), views)
+	targets := sched.Quantize(alloc, demand, s.cfg.Containers)
+
+	// Launch ready tasks while a job is below its target, serving the
+	// largest allocation deficits first (the policy's most-preferred jobs).
+	// If a preferred job's next task needs more containers than are free —
+	// a 2-container reduce task against a single free container — the free
+	// containers are RESERVED for it, as YARN's schedulers do; without the
+	// reservation, 1-container map tasks of lower-priority jobs would snatch
+	// every freed container and starve multi-container tasks indefinitely.
+	type cand struct {
+		js     *jobState
+		target int
+	}
+	cands := make([]cand, 0, len(views))
+	for _, id := range s.order {
+		js := s.jobs[id]
+		if !js.schedulable() {
+			continue
+		}
+		if t := targets[id]; t > js.usage {
+			cands = append(cands, cand{js: js, target: t})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		di := cands[i].target - cands[i].js.usage
+		dj := cands[j].target - cands[j].js.usage
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].js.seq < cands[j].js.seq
+	})
+	reserved := 0
+	for _, c := range cands {
+		for c.js.usage < c.target {
+			started, need := s.startNextReadyTask(c.js, reserved)
+			if started {
+				continue
+			}
+			if need > 0 {
+				// Reserve the free containers for this starved task.
+				free := s.cfg.Containers - s.usedSlots
+				if need > free {
+					need = free
+				}
+				reserved += need
+			}
+			break
+		}
+	}
+
+	// Work conservation (Algorithm 2, last step): hand unreserved leftover
+	// containers to any ready task, round-robin across jobs.
+	progress := true
+	for progress && s.usedSlots+reserved < s.cfg.Containers {
+		progress = false
+		for _, id := range s.order {
+			js := s.jobs[id]
+			if !js.schedulable() {
+				continue
+			}
+			if started, _ := s.startNextReadyTask(js, reserved); started {
+				progress = true
+			}
+		}
+	}
+
+	if s.cfg.Speculation {
+		s.speculate(reserved)
+	}
+	if s.usedSlots > s.peakUsage {
+		s.peakUsage = s.usedSlots
+	}
+}
+
+// startNextReadyTask starts the next ready task of js's active stages
+// (lowest stage index first) if enough unreserved containers are free. It
+// reports whether a task was started; when the next task exists but does not
+// fit, need is its container requirement so the caller can reserve capacity
+// for it.
+func (s *sim) startNextReadyTask(js *jobState, reserved int) (started bool, need int) {
+	free := s.cfg.Containers - s.usedSlots - reserved
+	for _, si := range js.activeStages {
+		st := &js.stages[si]
+		for len(st.readyIdx) > 0 {
+			ti := st.readyIdx[0]
+			task := &st.tasks[ti]
+			if !task.ready || task.done {
+				st.readyIdx = st.readyIdx[1:] // stale entry
+				continue
+			}
+			if task.spec.Containers > free {
+				return false, task.spec.Containers
+			}
+			st.readyIdx = st.readyIdx[1:]
+			st.readyContainers -= task.spec.Containers
+			task.ready = false
+			s.launchAttempt(js, si, ti, false)
+			return true, 0
+		}
+	}
+	return false, 0
+}
+
+// launchAttempt starts an attempt of the given task now. The caller must
+// have already removed the task from the ready queue (for primary attempts).
+func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) {
+	st := &js.stages[stage]
+	task := &st.tasks[taskIdx]
+
+	// Full (progress-relevant) duration, possibly stretched by a straggler.
+	duration := task.spec.Duration
+	if s.cfg.StragglerProb > 0 && s.rng.Float64() < s.cfg.StragglerProb {
+		duration *= s.cfg.StragglerFactor
+	}
+	// Failure injection: the attempt dies after a uniform fraction of its
+	// duration without completing the task.
+	success := true
+	runtime := duration
+	if s.cfg.FailureProb > 0 && s.rng.Float64() < s.cfg.FailureProb {
+		success = false
+		runtime = duration * s.rng.Float64()
+		if runtime <= 0 {
+			runtime = 1e-9
+		}
+	}
+
+	a := &attempt{
+		id:          len(s.attempts),
+		jobID:       js.spec.ID,
+		stage:       stage,
+		task:        taskIdx,
+		containers:  task.spec.Containers,
+		start:       s.now,
+		success:     success,
+		speculative: speculative,
+	}
+	if !speculative {
+		a.invDur = 1 / duration
+	}
+	s.attempts = append(s.attempts, a)
+	task.attemptIDs = append(task.attemptIDs, a.id)
+	task.runningAttempts++
+	js.attempts++
+	if speculative {
+		js.speculative++
+	}
+
+	js.usage += a.containers
+	js.runStartWeight += float64(a.containers) * a.start
+	st.usage += a.containers
+	st.runStartWeight += float64(a.containers) * a.start
+	if a.invDur > 0 {
+		st.invDurSum += a.invDur
+		st.startInvDurSum += a.invDur * a.start
+	}
+	s.usedSlots += a.containers
+	s.queue.push(s.now+runtime, event{kind: evAttemptDone, attempt: a.id})
+}
+
+// speculate launches duplicate copies of the running tasks with the largest
+// expected remaining time on leftover containers, at most one copy per task.
+func (s *sim) speculate(reserved int) {
+	free := s.cfg.Containers - s.usedSlots - reserved
+	if free <= 0 {
+		return
+	}
+	type candidate struct {
+		js        *jobState
+		stage     int
+		task      int
+		remaining float64
+	}
+	var cands []candidate
+	for _, id := range s.order {
+		js := s.jobs[id]
+		if !js.schedulable() {
+			continue
+		}
+		for _, si := range js.activeStages {
+			st := &js.stages[si]
+			for ti := range st.tasks {
+				task := &st.tasks[ti]
+				if task.done || task.runningAttempts != 1 {
+					continue // not running, or already duplicated
+				}
+				primary := s.attempts[task.attemptIDs[len(task.attemptIDs)-1]]
+				worstCase := primary.start + task.spec.Duration*s.cfg.StragglerFactor
+				cands = append(cands, candidate{js: js, stage: si, task: ti, remaining: worstCase - s.now})
+			}
+		}
+	}
+	// Longest expected remaining time first; deterministic tie-break on job ID.
+	for i := range cands {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].remaining > cands[best].remaining ||
+				(cands[j].remaining == cands[best].remaining &&
+					cands[j].js.spec.ID < cands[best].js.spec.ID) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	for _, c := range cands {
+		task := &c.js.stages[c.stage].tasks[c.task]
+		if task.done || task.spec.Containers > s.cfg.Containers-s.usedSlots-reserved {
+			continue
+		}
+		s.launchAttempt(c.js, c.stage, c.task, true)
+		if s.usedSlots+reserved >= s.cfg.Containers {
+			return
+		}
+	}
+}
+
+// views builds the scheduler-facing snapshots of all admitted, unfinished
+// jobs and their ready demand (for share quantization).
+func (s *sim) views() ([]sched.JobView, map[int]float64) {
+	var views []sched.JobView
+	demand := make(map[int]float64)
+	for _, id := range s.order {
+		js := s.jobs[id]
+		if !js.schedulable() {
+			continue
+		}
+		v := &jobView{js: js, now: s.now}
+		views = append(views, v)
+		demand[id] = v.ReadyDemand()
+	}
+	return views, demand
+}
+
+func (s *sim) result() *Result {
+	res := &Result{
+		Scheduler: s.policy.Name(),
+		Makespan:  s.makespan,
+		PeakUsage: s.peakUsage,
+		Timeline:  s.timeline,
+	}
+	if s.makespan > 0 {
+		res.Utilization = s.busyIntegral / (s.makespan * float64(s.cfg.Containers))
+	}
+	for _, id := range s.order {
+		js := s.jobs[id]
+		res.Jobs = append(res.Jobs, JobResult{
+			ID:           js.spec.ID,
+			Name:         js.spec.Name,
+			Bin:          js.spec.Bin,
+			Arrival:      js.spec.Arrival,
+			Admitted:     js.admittedAt,
+			Completed:    js.completedAt,
+			ResponseTime: js.completedAt - js.spec.Arrival,
+			Service:      js.finalizedService,
+			Attempts:     js.attempts,
+			Failures:     js.failures,
+			Speculative:  js.speculative,
+		})
+	}
+	return res
+}

@@ -1,0 +1,228 @@
+package engine_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lasmq/internal/core"
+	"lasmq/internal/engine"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// randomWorkload builds a random mixed workload (some linear map-reduce
+// jobs, some DAGs) from a seed.
+func randomWorkload(seed int64, jobs int) []job.Spec {
+	r := rand.New(rand.NewSource(seed))
+	specs := make([]job.Spec, 0, jobs)
+	arrival := 0.0
+	for i := 1; i <= jobs; i++ {
+		arrival += r.ExpFloat64() * 15
+		var spec job.Spec
+		switch r.Intn(3) {
+		case 0: // single stage
+			spec = job.Spec{
+				ID: i, Name: "single", Bin: 1, Priority: r.Intn(5) + 1, Arrival: arrival,
+				Stages: []job.StageSpec{randStage(r, 1+r.Intn(12), 1)},
+			}
+		case 1: // map-reduce chain
+			spec = job.Spec{
+				ID: i, Name: "chain", Bin: 2, Priority: r.Intn(5) + 1, Arrival: arrival,
+				Stages: []job.StageSpec{
+					randStage(r, 2+r.Intn(10), 1),
+					randStage(r, 1+r.Intn(4), 2),
+				},
+			}
+		default: // diamond DAG
+			root := randStage(r, 1+r.Intn(6), 1)
+			root.DependsOn = []int{}
+			left := randStage(r, 1+r.Intn(6), 1)
+			left.DependsOn = []int{0}
+			right := randStage(r, 1+r.Intn(6), 1)
+			right.DependsOn = []int{0}
+			sink := randStage(r, 1+r.Intn(3), 2)
+			sink.DependsOn = []int{1, 2}
+			spec = job.Spec{
+				ID: i, Name: "dag", Bin: 3, Priority: r.Intn(5) + 1, Arrival: arrival,
+				Stages: []job.StageSpec{root, left, right, sink},
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+func randStage(r *rand.Rand, n, containers int) job.StageSpec {
+	tasks := make([]job.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = job.TaskSpec{Duration: 1 + r.Float64()*20, Containers: containers}
+	}
+	return job.StageSpec{Name: "s", Tasks: tasks}
+}
+
+// TestEngineInvariantsProperty checks, across random workloads and policies:
+// every job completes after its arrival, consumed service equals nominal
+// (without failures/speculation), peak usage respects capacity, utilization
+// is a fraction, and the makespan respects the capacity bound.
+func TestEngineInvariantsProperty(t *testing.T) {
+	mkPolicies := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewFIFO() },
+		func() sched.Scheduler { return sched.NewFair() },
+		func() sched.Scheduler { return sched.NewLAS() },
+		func() sched.Scheduler {
+			s, _ := core.New(core.DefaultConfig())
+			return s
+		},
+	}
+	f := func(seed int64, nRaw uint8, mrRaw uint8) bool {
+		jobs := int(nRaw%12) + 2
+		specs := randomWorkload(seed, jobs)
+		cfg := engine.Config{
+			Containers:     10,
+			MaxRunningJobs: int(mrRaw % 5), // 0..4 (0 = unlimited)
+		}
+		var totalService float64
+		for i := range specs {
+			totalService += specs[i].TotalService()
+		}
+		for _, mk := range mkPolicies {
+			res, err := engine.Run(specs, mk(), cfg)
+			if err != nil {
+				return false
+			}
+			if len(res.Jobs) != jobs {
+				return false
+			}
+			var consumed float64
+			for i, jr := range res.Jobs {
+				if jr.Completed < jr.Arrival || jr.ResponseTime <= 0 {
+					return false
+				}
+				if jr.Admitted < jr.Arrival {
+					return false
+				}
+				if jr.Failures != 0 || jr.Speculative != 0 {
+					return false
+				}
+				if jr.Attempts != specs[i].TotalTasks() {
+					return false
+				}
+				consumed += jr.Service
+			}
+			if math.Abs(consumed-totalService) > 1e-6*totalService {
+				return false
+			}
+			if res.PeakUsage > cfg.Containers || res.PeakUsage <= 0 {
+				return false
+			}
+			if res.Utilization <= 0 || res.Utilization > 1+1e-9 {
+				return false
+			}
+			// Work conservation bound: the cluster cannot finish faster than
+			// total service / capacity.
+			if res.Makespan < totalService/float64(cfg.Containers)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineResponseNeverBeatsIsolated: contention can only slow a job down.
+func TestEngineResponseNeverBeatsIsolated(t *testing.T) {
+	specs := randomWorkload(3, 8)
+	cfg := engine.Config{Containers: 10}
+	for _, mk := range []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewFIFO() },
+		func() sched.Scheduler {
+			s, _ := core.New(core.DefaultConfig())
+			return s
+		},
+	} {
+		res, err := engine.Run(specs, mk(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range specs {
+			iso, err := engine.RunIsolated(specs[i], sched.NewFIFO(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Jobs[i].ResponseTime < iso-1e-9 {
+				t.Errorf("%s job %d response %v beats isolated %v",
+					res.Scheduler, specs[i].ID, res.Jobs[i].ResponseTime, iso)
+			}
+		}
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	specs := randomWorkload(5, 10)
+	cfg := engine.Config{Containers: 10, SampleInterval: 5}
+	res, err := engine.Run(specs, sched.NewFair(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline samples despite SampleInterval > 0")
+	}
+	prev := -1.0
+	for _, s := range res.Timeline {
+		if s.Time < prev {
+			t.Fatalf("timeline not ordered: %v after %v", s.Time, prev)
+		}
+		if prev >= 0 && s.Time-prev < 5-1e-9 {
+			t.Fatalf("samples %v and %v closer than the interval", prev, s.Time)
+		}
+		prev = s.Time
+		if s.UsedContainers < 0 || s.UsedContainers > 10 {
+			t.Fatalf("sample usage %d out of [0,10]", s.UsedContainers)
+		}
+		if s.RunningJobs < 0 || s.WaitingJobs < 0 {
+			t.Fatalf("negative job counts in sample %+v", s)
+		}
+	}
+
+	// Sampling off: no timeline.
+	cfg.SampleInterval = 0
+	res, err = engine.Run(specs, sched.NewFair(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Errorf("timeline recorded despite sampling off: %d samples", len(res.Timeline))
+	}
+
+	// Negative interval rejected.
+	cfg.SampleInterval = -1
+	if _, err := engine.Run(specs, sched.NewFair(), cfg); err == nil {
+		t.Error("expected validation error for negative sample interval")
+	}
+}
+
+// TestUtilizationHighUnderOverload: with far more demand than capacity, the
+// cluster should be nearly fully utilized until the work drains.
+func TestUtilizationHighUnderOverload(t *testing.T) {
+	var specs []job.Spec
+	for i := 1; i <= 6; i++ {
+		specs = append(specs, job.Spec{
+			ID: i, Name: "load", Bin: 1, Priority: 1,
+			Stages: []job.StageSpec{randStage(rand.New(rand.NewSource(int64(i))), 40, 1)},
+		})
+	}
+	res, err := engine.Run(specs, sched.NewFair(), engine.Config{Containers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("utilization = %v, want >= 0.9 under overload", res.Utilization)
+	}
+	if res.PeakUsage != 8 {
+		t.Errorf("peak usage = %d, want full capacity 8", res.PeakUsage)
+	}
+}

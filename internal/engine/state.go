@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"lasmq/internal/eventq"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// attempt is one execution attempt of a task on physical containers.
+type attempt struct {
+	id          int
+	jobID       int
+	stage       int
+	task        int
+	containers  int
+	start       float64
+	success     bool // outcome decided at launch (failure injection)
+	speculative bool
+	ended       bool
+	// invDur is 1/duration for primary attempts (progress accounting);
+	// zero for speculative copies so they do not double-count progress.
+	invDur float64
+}
+
+// taskState tracks one task across its attempts.
+type taskState struct {
+	spec            job.TaskSpec
+	ready           bool
+	done            bool
+	runningAttempts int
+	attemptIDs      []int
+}
+
+// stageState tracks one stage, with O(1) aggregates for service accounting
+// and stage progress (the paper's stage-awareness inputs).
+type stageState struct {
+	spec      *job.StageSpec
+	tasks     []taskState
+	readyIdx  []int // queue of ready task indices
+	doneTasks int
+
+	// DAG bookkeeping: a stage activates when remainingDeps reaches zero and
+	// completes when all its tasks succeed.
+	remainingDeps int
+	active        bool
+	completed     bool
+	dependents    []int
+
+	totalContainers int // sum of task container requirements
+	doneContainers  int
+	readyContainers int
+
+	// Service accounting: finalized covers ended attempts; running attempts
+	// contribute containers*(now-start) = now*usage - runStartWeight.
+	finalizedService float64
+	usage            int
+	runStartWeight   float64
+
+	// Progress accounting over primary (non-speculative) running attempts:
+	// fraction progressed = (doneTasks + now*invDurSum - startInvDurSum) / n.
+	invDurSum      float64
+	startInvDurSum float64
+}
+
+func (st *stageState) attained(now float64) float64 {
+	return st.finalizedService + now*float64(st.usage) - st.runStartWeight
+}
+
+// progress returns the completed fraction of the stage in [0,1], counting
+// completed tasks plus the partial progress of running primary attempts —
+// the simulator's analog of the data-processed percentage Hadoop and Spark
+// expose. Task-duration skew makes the early progress rate unstable, so the
+// projection over-estimates at times, matching the paper's observation that
+// over-estimates occur and mostly penalize only the job itself.
+func (st *stageState) progress(now float64) float64 {
+	p := (float64(st.doneTasks) + now*st.invDurSum - st.startInvDurSum) / float64(len(st.tasks))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// jobState is the runtime state of one job.
+type jobState struct {
+	spec *job.Spec
+
+	arrived     bool
+	admitted    bool
+	completed   bool
+	admittedAt  float64
+	completedAt float64
+	seq         int // admission sequence
+
+	stages       []stageState
+	activeStages []int // indices of unlocked, uncompleted stages, ascending
+	doneStages   int
+
+	// Whole-job service accounting, mirroring the per-stage aggregates.
+	finalizedService       float64
+	usage                  int
+	runStartWeight         float64
+	completedStagesService float64
+
+	attempts    int
+	failures    int
+	speculative int
+}
+
+func newJobState(spec *job.Spec) *jobState {
+	js := &jobState{spec: spec}
+	js.stages = make([]stageState, len(spec.Stages))
+	for i := range spec.Stages {
+		st := &js.stages[i]
+		st.spec = &spec.Stages[i]
+		st.tasks = make([]taskState, len(st.spec.Tasks))
+		for ti := range st.spec.Tasks {
+			st.tasks[ti].spec = st.spec.Tasks[ti]
+			st.totalContainers += st.spec.Tasks[ti].Containers
+		}
+		for _, dep := range spec.Deps(i) {
+			st.remainingDeps++
+			js.stages[dep].dependents = append(js.stages[dep].dependents, i)
+		}
+	}
+	// Root stages (no dependencies) are ready once the job is admitted.
+	for i := range js.stages {
+		if js.stages[i].remainingDeps == 0 {
+			js.activateStage(i)
+		}
+	}
+	return js
+}
+
+// activateStage unlocks a stage: its tasks become ready.
+func (js *jobState) activateStage(i int) {
+	st := &js.stages[i]
+	st.active = true
+	for ti := range st.tasks {
+		st.tasks[ti].ready = true
+		st.readyIdx = append(st.readyIdx, ti)
+		st.readyContainers += st.tasks[ti].spec.Containers
+	}
+	// Keep activeStages sorted ascending so task launch order is stable.
+	pos := len(js.activeStages)
+	for pos > 0 && js.activeStages[pos-1] > i {
+		pos--
+	}
+	js.activeStages = append(js.activeStages, 0)
+	copy(js.activeStages[pos+1:], js.activeStages[pos:])
+	js.activeStages[pos] = i
+}
+
+// deactivateStage removes a completed stage from the active list.
+func (js *jobState) deactivateStage(i int) {
+	for k, idx := range js.activeStages {
+		if idx == i {
+			js.activeStages = append(js.activeStages[:k], js.activeStages[k+1:]...)
+			return
+		}
+	}
+}
+
+func (js *jobState) schedulable() bool { return js.admitted && !js.completed }
+
+func (js *jobState) attained(now float64) float64 {
+	return js.finalizedService + now*float64(js.usage) - js.runStartWeight
+}
+
+// estimated is the stage-aware service estimate: exact service of completed
+// stages plus each active stage's attained service divided by its progress
+// (paper Sec. III-B). Locked stages contribute nothing — their cost cannot
+// be predicted, as the paper's motivation section argues.
+func (js *jobState) estimated(now float64) float64 {
+	est := js.completedStagesService
+	for _, i := range js.activeStages {
+		st := &js.stages[i]
+		stageAttained := st.attained(now)
+		stageEst := stageAttained
+		if p := st.progress(now); p > 0 {
+			stageEst = stageAttained / p
+		}
+		est += stageEst
+	}
+	return est
+}
+
+// readyDemand is the number of containers needed by the ready (startable)
+// tasks of the active stages.
+func (js *jobState) readyDemand() float64 {
+	var total int
+	for _, i := range js.activeStages {
+		total += js.stages[i].readyContainers
+	}
+	return float64(total)
+}
+
+// remainingDemand is the number of containers needed by all remaining tasks
+// of the job, including running ones (the paper's in-queue ordering key).
+func (js *jobState) remainingDemand() float64 {
+	var total int
+	for i := range js.stages {
+		if js.stages[i].completed {
+			continue
+		}
+		total += js.stages[i].totalContainers - js.stages[i].doneContainers
+	}
+	return float64(total)
+}
+
+// jobView adapts jobState to sched.JobView at a fixed instant.
+type jobView struct {
+	js  *jobState
+	now float64
+}
+
+var _ sched.JobView = (*jobView)(nil)
+
+func (v *jobView) ID() int            { return v.js.spec.ID }
+func (v *jobView) Seq() int           { return v.js.seq }
+func (v *jobView) Priority() int      { return v.js.spec.Priority }
+func (v *jobView) Attained() float64  { return v.js.attained(v.now) }
+func (v *jobView) Estimated() float64 { return v.js.estimated(v.now) }
+func (v *jobView) ReadyDemand() float64 {
+	return v.js.readyDemand()
+}
+func (v *jobView) RemainingDemand() float64 {
+	return v.js.remainingDemand()
+}
+func (v *jobView) SizeHint() float64 { return v.js.spec.EffectiveSizeHint() }
+func (v *jobView) RemainingSizeHint() float64 {
+	rem := v.js.spec.EffectiveSizeHint() - v.js.attained(v.now)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// eventHeap wraps the generic event queue with same-timestamp batching so a
+// burst of simultaneous completions triggers a single scheduling round.
+type eventHeap struct {
+	q eventq.Queue[event]
+}
+
+func (h *eventHeap) push(t float64, ev event) { h.q.Push(t, ev) }
+
+func (h *eventHeap) popBatch() (float64, []event, bool) {
+	t, first, ok := h.q.Pop()
+	if !ok {
+		return 0, nil, false
+	}
+	batch := []event{first}
+	for {
+		nt, _, ok := h.q.Peek()
+		if !ok || nt != t {
+			return t, batch, true
+		}
+		_, ev, _ := h.q.Pop()
+		batch = append(batch, ev)
+	}
+}

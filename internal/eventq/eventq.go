@@ -1,0 +1,91 @@
+// Package eventq implements the priority queue over virtual time used by the
+// discrete-event simulators. Events with equal timestamps are delivered in
+// insertion order, which keeps simulations deterministic.
+package eventq
+
+// Queue is a min-heap of values keyed by (time, insertion sequence).
+// The zero value is an empty queue ready to use.
+type Queue[T any] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+type entry[T any] struct {
+	time  float64
+	seq   uint64
+	value T
+}
+
+// Len reports the number of queued events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push schedules value at the given virtual time.
+func (q *Queue[T]) Push(time float64, value T) {
+	q.items = append(q.items, entry[T]{time: time, seq: q.seq, value: value})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Peek returns the earliest event without removing it. ok is false if the
+// queue is empty.
+func (q *Queue[T]) Peek() (time float64, value T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return q.items[0].time, q.items[0].value, true
+}
+
+// Pop removes and returns the earliest event. ok is false if the queue is
+// empty.
+func (q *Queue[T]) Pop() (time float64, value T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.time, top.value, true
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	if q.items[i].time != q.items[j].time {
+		return q.items[i].time < q.items[j].time
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

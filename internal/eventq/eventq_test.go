@@ -1,0 +1,135 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[string]
+	if q.Len() != 0 {
+		t.Errorf("empty queue Len = %d", q.Len())
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported ok")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue reported ok")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue[int]
+	times := []float64{5, 1, 3, 2, 4}
+	for i, tm := range times {
+		q.Push(tm, i)
+	}
+	var got []float64
+	for q.Len() > 0 {
+		tm, _, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed on non-empty queue")
+		}
+		got = append(got, tm)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("pop order not sorted: %v", got)
+	}
+}
+
+func TestFIFOAmongTies(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(7.0, i)
+	}
+	for want := 0; want < 10; want++ {
+		_, v, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed")
+		}
+		if v != want {
+			t.Fatalf("tie-break order broken: got %d, want %d", v, want)
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue[string]
+	q.Push(2, "b")
+	q.Push(1, "a")
+	pt, pv, _ := q.Peek()
+	qt, qv, _ := q.Pop()
+	if pt != qt || pv != qv {
+		t.Errorf("Peek (%v,%q) != Pop (%v,%q)", pt, pv, qt, qv)
+	}
+	if pv != "a" {
+		t.Errorf("earliest event = %q, want a", pv)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[float64]
+	r := rand.New(rand.NewSource(1))
+	lastPopped := -1.0
+	// Push monotonically increasing times while popping; order must hold.
+	for i := 0; i < 1000; i++ {
+		q.Push(float64(i)+r.Float64(), float64(i))
+		if i%3 == 0 {
+			tm, _, ok := q.Pop()
+			if !ok {
+				t.Fatal("unexpected empty queue")
+			}
+			if tm < lastPopped {
+				t.Fatalf("time went backwards: %v after %v", tm, lastPopped)
+			}
+			lastPopped = tm
+		}
+	}
+	for q.Len() > 0 {
+		tm, _, _ := q.Pop()
+		if tm < lastPopped {
+			t.Fatalf("time went backwards: %v after %v", tm, lastPopped)
+		}
+		lastPopped = tm
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue[int]
+		for i, tm := range times {
+			q.Push(tm, i)
+		}
+		prev := math.Inf(-1)
+		for q.Len() > 0 {
+			tm, _, ok := q.Pop()
+			if !ok || tm < prev {
+				return false
+			}
+			prev = tm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLenTracksOperations(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 50; i++ {
+		q.Push(float64(i), i)
+	}
+	if q.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", q.Len())
+	}
+	for i := 0; i < 20; i++ {
+		q.Pop()
+	}
+	if q.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", q.Len())
+	}
+}

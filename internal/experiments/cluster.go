@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"lasmq/internal/core"
+	"lasmq/internal/engine"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+	"lasmq/internal/stats"
+	"lasmq/internal/workload"
+)
+
+// PolicyStats aggregates one policy's cluster-experiment outcome.
+type PolicyStats struct {
+	// MeanResponse is the average job response time in seconds.
+	MeanResponse float64
+	// BinMeans is the average response time per Table I input-size bin.
+	BinMeans map[int]float64
+	// Responses are the per-job response times (for CDFs), concatenated
+	// across repeats.
+	Responses []float64
+	// Slowdowns are per-job slowdowns (response / isolated runtime).
+	Slowdowns []float64
+}
+
+// ClusterResult holds a full Fig. 5 / Fig. 6 style experiment.
+type ClusterResult struct {
+	// MeanInterval is the Poisson mean inter-arrival time in seconds.
+	MeanInterval float64
+	// ByPolicy maps policy name to aggregated stats.
+	ByPolicy map[string]*PolicyStats
+	// Normalized is Fair's mean response divided by each policy's
+	// (values > 1 beat Fair).
+	Normalized map[string]float64
+}
+
+// Fig5 runs the 80-second mean-interval testbed experiment (paper Fig. 5):
+// response-time CDF, per-bin averages, and slowdown for LAS_MQ, LAS, FAIR
+// and FIFO.
+func Fig5(opts Options) (*ClusterResult, error) {
+	return RunCluster(80, opts)
+}
+
+// Fig6 runs the 50-second mean-interval (higher-load) experiment (Fig. 6).
+func Fig6(opts Options) (*ClusterResult, error) {
+	return RunCluster(50, opts)
+}
+
+// RunCluster runs the Table I workload at the given mean arrival interval
+// under all four policies.
+func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
+	opts = opts.Defaults()
+	res := &ClusterResult{
+		MeanInterval: meanInterval,
+		ByPolicy:     make(map[string]*PolicyStats, len(PolicyOrder)),
+		Normalized:   make(map[string]float64, len(PolicyOrder)),
+	}
+	for _, name := range PolicyOrder {
+		res.ByPolicy[name] = &PolicyStats{BinMeans: make(map[int]float64)}
+	}
+
+	binSums := make(map[string]map[int]float64)
+	binCounts := make(map[string]map[int]int)
+	for _, name := range PolicyOrder {
+		binSums[name] = make(map[int]float64)
+		binCounts[name] = make(map[int]int)
+	}
+
+	for rep := 0; rep < opts.Repeats; rep++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.MeanInterval = meanInterval
+		wcfg.Seed = opts.Seed + int64(rep)
+		specs, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		isolated, err := isolatedRuntimes(specs)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range PolicyOrder {
+			policy, err := newPolicy(name, clusterLASMQ)
+			if err != nil {
+				return nil, err
+			}
+			run, err := engine.Run(specs, policy, engine.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("%s at interval %v: %w", name, meanInterval, err)
+			}
+			ps := res.ByPolicy[name]
+			for _, jr := range run.Jobs {
+				ps.Responses = append(ps.Responses, jr.ResponseTime)
+				ps.Slowdowns = append(ps.Slowdowns, jr.ResponseTime/isolated[jr.ID])
+				binSums[name][jr.Bin] += jr.ResponseTime
+				binCounts[name][jr.Bin]++
+			}
+		}
+	}
+
+	for _, name := range PolicyOrder {
+		ps := res.ByPolicy[name]
+		ps.MeanResponse = stats.Mean(ps.Responses)
+		for bin, sum := range binSums[name] {
+			ps.BinMeans[bin] = sum / float64(binCounts[name][bin])
+		}
+	}
+	fair := res.ByPolicy[PolicyFair].MeanResponse
+	for _, name := range PolicyOrder {
+		res.Normalized[name] = stats.Normalized(fair, res.ByPolicy[name].MeanResponse)
+	}
+	return res, nil
+}
+
+// isolatedRuntimes computes each job's alone-on-the-cluster runtime, the
+// slowdown denominator.
+func isolatedRuntimes(specs []job.Spec) (map[int]float64, error) {
+	out := make(map[int]float64, len(specs))
+	for i := range specs {
+		iso, err := engine.RunIsolated(specs[i], sched.NewFIFO(), engine.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		out[specs[i].ID] = iso
+	}
+	return out, nil
+}
+
+// Table renders the experiment like the paper's Fig. 5(b)/6(b): average job
+// response time per bin and overall, by policy.
+func (r *ClusterResult) Table() string {
+	header := []string{"policy", "bin1", "bin2", "bin3", "bin4", "all", "norm(vs FAIR)"}
+	var rows [][]string
+	for _, name := range PolicyOrder {
+		ps := r.ByPolicy[name]
+		row := []string{name}
+		for bin := 1; bin <= 4; bin++ {
+			row = append(row, fmt.Sprintf("%.0f", ps.BinMeans[bin]))
+		}
+		row = append(row,
+			fmt.Sprintf("%.0f", ps.MeanResponse),
+			fmt.Sprintf("%.2f", r.Normalized[name]))
+		rows = append(rows, row)
+	}
+	return renderTable(header, rows)
+}
+
+// SlowdownTable renders mean and tail slowdowns plus Jain's fairness index
+// per policy (Fig. 5(c)/6(c)).
+func (r *ClusterResult) SlowdownTable() string {
+	header := []string{"policy", "mean", "p50", "p90", "p99", "jain"}
+	var rows [][]string
+	for _, name := range PolicyOrder {
+		s := stats.Summarize(r.ByPolicy[name].Slowdowns)
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", s.Mean),
+			fmt.Sprintf("%.1f", s.P50),
+			fmt.Sprintf("%.1f", s.P90),
+			fmt.Sprintf("%.1f", s.P99),
+			fmt.Sprintf("%.2f", stats.JainIndex(r.ByPolicy[name].Slowdowns)),
+		})
+	}
+	return renderTable(header, rows)
+}
+
+// Fig3Result reports the ablation of the paper's two design features.
+type Fig3Result struct {
+	// Normalized average job response time over Fair for:
+	// Case 1: neither stage awareness nor in-queue ordering;
+	// Case 2: stage awareness only;
+	// Case 3: in-queue ordering only;
+	// Case 4: both (the full LAS_MQ design).
+	Cases [4]float64
+}
+
+// Fig3 reproduces the design-option comparison (paper Fig. 3): 100 jobs,
+// Poisson arrivals with a 50-second mean interval, normalized over Fair.
+func Fig3(opts Options) (*Fig3Result, error) {
+	opts = opts.Defaults()
+	variants := []struct {
+		stageAware bool
+		ordering   bool
+	}{
+		{stageAware: false, ordering: false},
+		{stageAware: true, ordering: false},
+		{stageAware: false, ordering: true},
+		{stageAware: true, ordering: true},
+	}
+	var sums [4]float64
+	for rep := 0; rep < opts.Repeats; rep++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.MeanInterval = 50
+		wcfg.Seed = opts.Seed + int64(rep)
+		specs, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		fairRun, err := engine.Run(specs, sched.NewFair(), engine.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		fairMean := fairRun.MeanResponseTime()
+		for i, v := range variants {
+			cfg := core.DefaultConfig()
+			cfg.StageAware = v.stageAware
+			cfg.OrderByDemand = v.ordering
+			mq, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			run, err := engine.Run(specs, mq, engine.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("fig3 case %d: %w", i+1, err)
+			}
+			sums[i] += stats.Normalized(fairMean, run.MeanResponseTime())
+		}
+	}
+	var res Fig3Result
+	for i := range sums {
+		res.Cases[i] = sums[i] / float64(opts.Repeats)
+	}
+	return &res, nil
+}
+
+// Table renders the ablation like Fig. 3.
+func (r *Fig3Result) Table() string {
+	header := []string{"case", "stage-aware", "in-queue ordering", "norm. resp. time (vs FAIR)"}
+	features := [][2]string{{"no", "no"}, {"yes", "no"}, {"no", "yes"}, {"yes", "yes"}}
+	var rows [][]string
+	for i, c := range r.Cases {
+		rows = append(rows, []string{
+			"Case " + strconv.Itoa(i+1),
+			features[i][0],
+			features[i][1],
+			fmt.Sprintf("%.2f", c),
+		})
+	}
+	return renderTable(header, rows)
+}
+
+// TableIText renders the paper's Table I (workload composition).
+func TableIText() string {
+	header := []string{"bin", "job", "dataset", "maps", "reduces", "jobs"}
+	var rows [][]string
+	for _, jt := range workload.TableI() {
+		rows = append(rows, []string{
+			strconv.Itoa(jt.Bin),
+			jt.Name,
+			jt.DatasetSize,
+			strconv.Itoa(jt.Maps),
+			strconv.Itoa(jt.Reduces),
+			strconv.Itoa(jt.Count),
+		})
+	}
+	return renderTable(header, rows)
+}

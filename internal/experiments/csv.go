@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lasmq/internal/stats"
+)
+
+// WriteCSV emits the experiment's plottable series: one row per
+// (policy, bin) mean plus overall means, as the paper's Fig. 5b/6b bars.
+func (r *ClusterResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "policy,bin,mean_response"); err != nil {
+		return err
+	}
+	for _, name := range PolicyOrder {
+		ps := r.ByPolicy[name]
+		for bin := 1; bin <= 4; bin++ {
+			if _, err := fmt.Fprintf(w, "%s,%d,%g\n", name, bin, ps.BinMeans[bin]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s,all,%g\n", name, ps.MeanResponse); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDFCSV emits the response-time CDFs (Fig. 5a/6a) downsampled to at
+// most points rows per policy.
+func (r *ClusterResult) WriteCDFCSV(w io.Writer, points int) error {
+	if _, err := fmt.Fprintln(w, "policy,response,cdf"); err != nil {
+		return err
+	}
+	for _, name := range PolicyOrder {
+		cdf := stats.CDF(r.ByPolicy[name].Responses)
+		step := 1
+		if points > 0 && len(cdf) > points {
+			step = len(cdf) / points
+		}
+		for i := 0; i < len(cdf); i += step {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, cdf[i].X, cdf[i].P); err != nil {
+				return err
+			}
+		}
+		if n := len(cdf); n > 0 && (n-1)%step != 0 {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, cdf[n-1].X, cdf[n-1].P); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSlowdownCSV emits the slowdown CDFs (Fig. 5c/6c).
+func (r *ClusterResult) WriteSlowdownCSV(w io.Writer, points int) error {
+	if _, err := fmt.Fprintln(w, "policy,slowdown,cdf"); err != nil {
+		return err
+	}
+	for _, name := range PolicyOrder {
+		cdf := stats.CDF(r.ByPolicy[name].Slowdowns)
+		step := 1
+		if points > 0 && len(cdf) > points {
+			step = len(cdf) / points
+		}
+		for i := 0; i < len(cdf); i += step {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, cdf[i].X, cdf[i].P); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the trace experiment's bars (Fig. 7).
+func (r *TraceResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "policy,mean_response,normalized_vs_fair"); err != nil {
+		return err
+	}
+	for _, name := range PolicyOrder {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, r.Mean[name], r.Normalized[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the queue-count sweep (Fig. 8a).
+func (r *Fig8QueuesResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "queues,normalized_vs_fair"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeysI(r.Normalized) {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", k, r.Normalized[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the threshold sweep (Fig. 8b).
+func (r *Fig8ThresholdsResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "alpha0,normalized_vs_fair"); err != nil {
+		return err
+	}
+	for _, alpha := range sortedKeysF(r.Normalized) {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", alpha, r.Normalized[alpha]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the ablation bars (Fig. 3).
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "case,stage_aware,in_queue_ordering,normalized_vs_fair"); err != nil {
+		return err
+	}
+	features := [][2]string{{"no", "no"}, {"yes", "no"}, {"no", "yes"}, {"yes", "yes"}}
+	for i, c := range r.Cases {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%g\n", i+1, features[i][0], features[i][1], c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

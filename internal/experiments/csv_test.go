@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleClusterResult() *ClusterResult {
+	res := &ClusterResult{
+		MeanInterval: 80,
+		ByPolicy:     make(map[string]*PolicyStats),
+		Normalized:   make(map[string]float64),
+	}
+	for i, name := range PolicyOrder {
+		res.ByPolicy[name] = &PolicyStats{
+			MeanResponse: float64(100 * (i + 1)),
+			BinMeans:     map[int]float64{1: 10, 2: 20, 3: 30, 4: 40},
+			Responses:    []float64{1, 2, 3, 4, 5},
+			Slowdowns:    []float64{1, 1.5, 2},
+		}
+		res.Normalized[name] = 1
+	}
+	return res
+}
+
+func TestClusterWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleClusterResult().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "policy,bin,mean_response\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, want := range []string{"LAS_MQ,1,10", "FIFO,all,400", "FAIR,4,40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q:\n%s", want, out)
+		}
+	}
+	// 4 policies x (4 bins + all) + header.
+	if lines := strings.Count(out, "\n"); lines != 21 {
+		t.Errorf("got %d lines, want 21", lines)
+	}
+}
+
+func TestClusterWriteCDFCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleClusterResult().WriteCDFCSV(&b, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "policy,response,cdf\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "LAS_MQ,5,1") {
+		t.Errorf("missing final CDF point:\n%s", out)
+	}
+}
+
+func TestClusterWriteSlowdownCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleClusterResult().WriteSlowdownCSV(&b, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "policy,slowdown,cdf\n") {
+		t.Errorf("missing header:\n%s", b.String())
+	}
+}
+
+func TestTraceWriteCSV(t *testing.T) {
+	res := &TraceResult{
+		Mean:       map[string]float64{PolicyLASMQ: 1, PolicyLAS: 2, PolicyFair: 3, PolicyFIFO: 4},
+		Normalized: map[string]float64{PolicyLASMQ: 3, PolicyLAS: 1.5, PolicyFair: 1, PolicyFIFO: 0.75},
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "LAS_MQ,1,3") || !strings.Contains(out, "FIFO,4,0.75") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}
+
+func TestFig8WriteCSV(t *testing.T) {
+	q := &Fig8QueuesResult{Normalized: map[int]float64{1: 0.1, 5: 1.2, 10: 1.3}}
+	var b strings.Builder
+	if err := q.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "queues,normalized_vs_fair\n1,0.1\n5,1.2\n10,1.3\n") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+
+	th := &Fig8ThresholdsResult{Normalized: map[float64]float64{0.001: 1.2, 10: 1.1}}
+	b.Reset()
+	if err := th.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "alpha0,normalized_vs_fair\n0.001,1.2\n10,1.1\n") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestFig3WriteCSV(t *testing.T) {
+	res := &Fig3Result{Cases: [4]float64{0.5, 1.1, 1.2, 1.5}}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "1,no,no,0.5") || !strings.Contains(out, "4,yes,yes,1.5") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}

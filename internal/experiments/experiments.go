@@ -1,0 +1,156 @@
+// Package experiments wires the substrates together into one runner per
+// table and figure of the paper's evaluation (Sec. V), plus the motivating
+// example (Fig. 1) and ablations beyond the paper. Each runner returns
+// structured results that the CLIs and benchmarks render; EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lasmq/internal/core"
+	"lasmq/internal/sched"
+)
+
+// Policy names used across all experiments (the paper's four algorithms).
+const (
+	PolicyLASMQ = "LAS_MQ"
+	PolicyLAS   = "LAS"
+	PolicyFair  = "FAIR"
+	PolicyFIFO  = "FIFO"
+)
+
+// PolicyOrder is the canonical reporting order.
+var PolicyOrder = []string{PolicyLASMQ, PolicyLAS, PolicyFair, PolicyFIFO}
+
+// Options tune experiment scale; the zero value is replaced by Defaults.
+type Options struct {
+	// Seed drives workload/trace synthesis. Runs with the same seed are
+	// bit-for-bit reproducible.
+	Seed int64
+	// Repeats averages the cluster experiments over this many seeds
+	// (the paper runs its experiments "multiple times"). Default 1.
+	Repeats int
+	// TraceJobs overrides the heavy-tailed trace length (default: the
+	// paper's 24,443). Use a smaller value for quick runs.
+	TraceJobs int
+	// UniformJobs overrides the light-tailed workload length (default:
+	// the paper's 10,000).
+	UniformJobs int
+}
+
+// Defaults fills unset fields with paper-scale values.
+func (o Options) Defaults() Options {
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
+	if o.TraceJobs <= 0 {
+		o.TraceJobs = 24443
+	}
+	if o.UniformJobs <= 0 {
+		o.UniformJobs = 10000
+	}
+	return o
+}
+
+// clusterLASMQ returns the paper's testbed configuration of LAS_MQ
+// (k = 10, alpha0 = 100, step = 10, both features on).
+func clusterLASMQ() (*core.LASMQ, error) {
+	return core.New(core.DefaultConfig())
+}
+
+// traceLASMQConfig returns the paper's simulation configuration of LAS_MQ
+// (k = 10, alpha0 = 1, step = 10). The trace-driven simulator exercises the
+// basic multilevel-queue mechanism: stage awareness needs stage progress
+// (trace jobs have none) and in-queue ordering by remaining demand is
+// disabled — with it on, the first queue becomes an SRPT approximation and
+// the paper's Fig. 8b degradation at alpha0 = 10 cannot occur, so the
+// paper's simulator evidently ran FIFO queues as well.
+func traceLASMQConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.FirstThreshold = 1
+	cfg.StageAware = false
+	cfg.OrderByDemand = false
+	return cfg
+}
+
+func traceLASMQ() (*core.LASMQ, error) {
+	return core.New(traceLASMQConfig())
+}
+
+// newPolicy constructs a fresh scheduler by name; LAS_MQ uses the given
+// constructor since its configuration differs between testbed and trace
+// experiments.
+func newPolicy(name string, mq func() (*core.LASMQ, error)) (sched.Scheduler, error) {
+	switch name {
+	case PolicyLASMQ:
+		return mq()
+	case PolicyLAS:
+		return sched.NewLAS(), nil
+	case PolicyFair:
+		return sched.NewFair(), nil
+	case PolicyFIFO:
+		return sched.NewFIFO(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// renderTable renders rows as a fixed-width text table.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// sortedKeysF returns the keys of a float-keyed map in ascending order.
+func sortedKeysF(m map[float64]float64) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// sortedKeysI returns the keys of an int-keyed map in ascending order.
+func sortedKeysI(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

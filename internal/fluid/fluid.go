@@ -1,0 +1,368 @@
+// Package fluid is the event-driven fluid simulator used for the paper's
+// trace-driven evaluation (24,443-job Facebook-like trace, 10,000-job uniform
+// workload). Jobs are malleable service demands with a parallelism cap
+// (width); the scheduler assigns fractional container shares, and between
+// scheduling points every job's attained service grows linearly, so job
+// completions and policy change points (LAS catch-ups, LAS_MQ threshold
+// crossings, via sched.Hinter) are computed exactly instead of stepping a
+// fine-grained quantum.
+//
+// Unlike the task-level engine, fluid jobs have no stage structure, so the
+// stage-aware estimate equals the exactly attained service — matching the
+// paper's simulations, which exercise the basic multilevel-queue mechanism.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lasmq/internal/sched"
+)
+
+// JobSpec describes one trace job.
+type JobSpec struct {
+	// ID uniquely identifies the job within a trace.
+	ID int
+	// Arrival is the submission time.
+	Arrival float64
+	// Size is the total service demand in container-time units (the paper
+	// normalizes Facebook job sizes to a mean of roughly 20).
+	Size float64
+	// Width is the job's maximum parallelism in containers (>= 1).
+	Width float64
+	// Priority in [1,5]; used by the Fair baseline.
+	Priority int
+	// SizeHint is the a priori estimate for SJF/SRTF; zero means exact.
+	SizeHint float64
+}
+
+// Config parameterizes a fluid run.
+type Config struct {
+	// Capacity is the cluster capacity in containers.
+	Capacity float64
+	// TaskDuration is the nominal per-task duration used to derive the
+	// container demand of a job's remaining work: demand =
+	// min(width, ceil(remaining/TaskDuration)). Default 1.
+	TaskDuration float64
+	// MaxStep caps event-free time advancement; 0 means unlimited (safe
+	// because policies publish change points via sched.Hinter).
+	MaxStep float64
+	// MaxRunningJobs bounds concurrently running jobs, mirroring the paper's
+	// admission module; 0 means unlimited (the trace simulations' setting).
+	MaxRunningJobs int
+}
+
+// DefaultConfig returns the heavy-tailed trace configuration: 100 containers,
+// unit task duration, no admission limit.
+func DefaultConfig() Config {
+	return Config{Capacity: 100, TaskDuration: 1}
+}
+
+func (c *Config) validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("fluid: capacity must be positive, got %v", c.Capacity)
+	}
+	if c.TaskDuration < 0 {
+		return fmt.Errorf("fluid: task duration must be >= 0, got %v", c.TaskDuration)
+	}
+	if c.MaxStep < 0 {
+		return fmt.Errorf("fluid: max step must be >= 0, got %v", c.MaxStep)
+	}
+	if c.MaxRunningJobs < 0 {
+		return fmt.Errorf("fluid: max running jobs must be >= 0, got %v", c.MaxRunningJobs)
+	}
+	return nil
+}
+
+// JobResult reports one finished job.
+type JobResult struct {
+	ID           int
+	Arrival      float64
+	Completed    float64
+	ResponseTime float64
+	Size         float64
+	Width        float64
+	// Slowdown is response time divided by the job's isolated runtime
+	// (size / min(width, capacity)).
+	Slowdown float64
+}
+
+// Result reports a whole fluid run.
+type Result struct {
+	Scheduler string
+	Jobs      []JobResult
+	Makespan  float64
+	// Rounds is the number of scheduling rounds executed (instrumentation).
+	Rounds int
+	// Utilization is the time-averaged fraction of capacity in use over the
+	// makespan.
+	Utilization float64
+}
+
+// MeanResponseTime returns the average job response time.
+func (r *Result) MeanResponseTime() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range r.Jobs {
+		sum += r.Jobs[i].ResponseTime
+	}
+	return sum / float64(len(r.Jobs))
+}
+
+// ResponseTimes returns per-job response times in trace order.
+func (r *Result) ResponseTimes() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i := range r.Jobs {
+		out[i] = r.Jobs[i].ResponseTime
+	}
+	return out
+}
+
+// Slowdowns returns per-job slowdowns in trace order.
+func (r *Result) Slowdowns() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i := range r.Jobs {
+		out[i] = r.Jobs[i].Slowdown
+	}
+	return out
+}
+
+type fluidJob struct {
+	spec     JobSpec
+	seq      int
+	attained float64
+	rate     float64
+	done     bool
+	view     jobView // embedded adapter, reused across rounds
+}
+
+func (j *fluidJob) remaining() float64 { return j.spec.Size - j.attained }
+
+func (j *fluidJob) finished() bool {
+	return j.remaining() <= 1e-9*math.Max(1, j.spec.Size)
+}
+
+// jobView adapts fluidJob to sched.JobView with the run's demand granularity.
+type jobView struct {
+	j            *fluidJob
+	taskDuration float64
+}
+
+var _ sched.JobView = (*jobView)(nil)
+
+func (v *jobView) ID() int           { return v.j.spec.ID }
+func (v *jobView) Seq() int          { return v.j.seq }
+func (v *jobView) Priority() int     { return v.j.spec.Priority }
+func (v *jobView) Attained() float64 { return v.j.attained }
+
+// Estimated equals Attained: fluid jobs have no stage structure to project.
+func (v *jobView) Estimated() float64 { return v.j.attained }
+
+func (v *jobView) demand() float64 {
+	rem := v.j.remaining()
+	if rem <= 0 {
+		return 0
+	}
+	tasks := rem
+	if v.taskDuration > 0 {
+		tasks = math.Ceil(rem / v.taskDuration)
+	}
+	return math.Min(v.j.spec.Width, tasks)
+}
+
+func (v *jobView) ReadyDemand() float64     { return v.demand() }
+func (v *jobView) RemainingDemand() float64 { return v.demand() }
+
+func (v *jobView) SizeHint() float64 {
+	if v.j.spec.SizeHint > 0 {
+		return v.j.spec.SizeHint
+	}
+	return v.j.spec.Size
+}
+
+func (v *jobView) RemainingSizeHint() float64 {
+	rem := v.SizeHint() - v.j.attained
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Run simulates the trace under the given policy. The scheduler instance
+// must be fresh.
+func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("fluid: nil scheduler")
+	}
+	seen := make(map[int]bool, len(specs))
+	for i := range specs {
+		s := &specs[i]
+		if s.Size <= 0 {
+			return nil, fmt.Errorf("fluid: job %d has non-positive size %v", s.ID, s.Size)
+		}
+		if s.Width < 1 {
+			return nil, fmt.Errorf("fluid: job %d has width %v < 1", s.ID, s.Width)
+		}
+		if s.Arrival < 0 {
+			return nil, fmt.Errorf("fluid: job %d has negative arrival %v", s.ID, s.Arrival)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("fluid: duplicate job ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+
+	// Pending jobs sorted by arrival (stable on trace order).
+	pending := make([]*fluidJob, len(specs))
+	for i := range specs {
+		pending[i] = &fluidJob{spec: specs[i]}
+		pending[i].view.j = pending[i]
+		pending[i].view.taskDuration = cfg.TaskDuration
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		return pending[i].spec.Arrival < pending[j].spec.Arrival
+	})
+
+	var (
+		delivered float64
+		res       = &Result{Scheduler: policy.Name()}
+		results   = make(map[int]JobResult, len(specs))
+		active    []*fluidJob
+		waiting   []*fluidJob // arrived but not admitted (admission limit)
+		now       float64
+		nextSeq   int
+		pi        int // next pending index
+		hinter    sched.Hinter
+		views     []sched.JobView
+		capacity  = cfg.Capacity
+	)
+	if h, ok := policy.(sched.Hinter); ok {
+		hinter = h
+	}
+
+	admit := func() {
+		for len(waiting) > 0 {
+			if cfg.MaxRunningJobs > 0 && len(active) >= cfg.MaxRunningJobs {
+				return
+			}
+			j := waiting[0]
+			waiting = waiting[1:]
+			j.seq = nextSeq
+			nextSeq++
+			active = append(active, j)
+		}
+	}
+
+	for pi < len(pending) || len(active) > 0 || len(waiting) > 0 {
+		// Admit arrivals due by now.
+		for pi < len(pending) && pending[pi].spec.Arrival <= now+1e-12 {
+			waiting = append(waiting, pending[pi])
+			pi++
+		}
+		admit()
+
+		if len(active) == 0 {
+			// Idle: jump to the next arrival.
+			if pi >= len(pending) {
+				if len(waiting) > 0 {
+					return nil, fmt.Errorf("fluid: %d jobs stuck in admission with empty cluster", len(waiting))
+				}
+				break
+			}
+			if t := pending[pi].spec.Arrival; t > now {
+				now = t
+			}
+			continue
+		}
+
+		// Build views and ask the policy for shares.
+		views = views[:0]
+		for _, j := range active {
+			views = append(views, &j.view)
+		}
+		alloc := policy.Assign(now, capacity, views)
+		res.Rounds++
+
+		// Apply rates (defensively capped by width).
+		for _, j := range active {
+			j.rate = math.Min(alloc[j.spec.ID], j.spec.Width)
+			if j.rate < 0 {
+				j.rate = 0
+			}
+		}
+
+		// Next event: arrival, earliest completion, policy horizon, step cap.
+		next := math.Inf(1)
+		if pi < len(pending) {
+			next = pending[pi].spec.Arrival
+		}
+		for _, j := range active {
+			if j.rate > 0 {
+				if t := now + j.remaining()/j.rate; t < next {
+					next = t
+				}
+			}
+		}
+		if hinter != nil {
+			if h := hinter.Horizon(now, views, alloc); h < next {
+				next = h
+			}
+		}
+		if cfg.MaxStep > 0 && now+cfg.MaxStep < next {
+			next = now + cfg.MaxStep
+		}
+		if math.IsInf(next, 1) || next <= now {
+			return nil, fmt.Errorf("fluid: no progress at t=%v with %d active jobs (total rate %v)",
+				now, len(active), alloc.Total())
+		}
+
+		// Advance time and service.
+		dt := next - now
+		now = next
+		live := active[:0]
+		for _, j := range active {
+			delivered += j.rate * dt
+			j.attained += j.rate * dt
+			if j.attained > j.spec.Size {
+				j.attained = j.spec.Size
+			}
+			if j.finished() {
+				j.done = true
+				iso := j.spec.Size / math.Min(j.spec.Width, capacity)
+				response := now - j.spec.Arrival
+				results[j.spec.ID] = JobResult{
+					ID:           j.spec.ID,
+					Arrival:      j.spec.Arrival,
+					Completed:    now,
+					ResponseTime: response,
+					Size:         j.spec.Size,
+					Width:        j.spec.Width,
+					Slowdown:     response / iso,
+				}
+				if now > res.Makespan {
+					res.Makespan = now
+				}
+				continue
+			}
+			live = append(live, j)
+		}
+		active = live
+	}
+
+	if res.Makespan > 0 {
+		res.Utilization = delivered / (res.Makespan * capacity)
+	}
+
+	// Report in trace order.
+	for i := range specs {
+		res.Jobs = append(res.Jobs, results[specs[i].ID])
+	}
+	return res, nil
+}

@@ -1,0 +1,491 @@
+package fluid_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lasmq/internal/core"
+	"lasmq/internal/fluid"
+	"lasmq/internal/sched"
+)
+
+func cfg1() fluid.Config {
+	return fluid.Config{Capacity: 1, TaskDuration: 1}
+}
+
+func newLASMQ(t *testing.T, mutate func(*core.Config)) *core.LASMQ {
+	t.Helper()
+	c := core.DefaultConfig()
+	c.FirstThreshold = 1
+	if mutate != nil {
+		mutate(&c)
+	}
+	s, err := core.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSingleJob(t *testing.T) {
+	specs := []fluid.JobSpec{{ID: 1, Size: 10, Width: 2, Priority: 1}}
+	cfg := fluid.Config{Capacity: 10, TaskDuration: 1}
+	res, err := fluid.Run(specs, sched.NewFIFO(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if math.Abs(jr.ResponseTime-5) > 1e-6 {
+		t.Errorf("response = %v, want 5 (size 10 at width 2)", jr.ResponseTime)
+	}
+	if math.Abs(jr.Slowdown-1) > 1e-6 {
+		t.Errorf("slowdown = %v, want 1 for an isolated job", jr.Slowdown)
+	}
+}
+
+func TestWidthCapsRate(t *testing.T) {
+	// Plenty of capacity, but the job can only use 2 containers.
+	specs := []fluid.JobSpec{{ID: 1, Size: 100, Width: 2, Priority: 1}}
+	res, err := fluid.Run(specs, sched.NewFair(), fluid.Config{Capacity: 50, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].ResponseTime-50) > 1e-6 {
+		t.Errorf("response = %v, want 50", res.Jobs[0].ResponseTime)
+	}
+}
+
+func TestFIFOSequential(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 100, Width: 10, Priority: 1},
+		{ID: 2, Arrival: 0, Size: 10, Width: 10, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewFIFO(), fluid.Config{Capacity: 10, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].Completed-10) > 1e-6 {
+		t.Errorf("job 1 completed = %v, want 10", res.Jobs[0].Completed)
+	}
+	if math.Abs(res.Jobs[1].Completed-11) > 1e-6 {
+		t.Errorf("job 2 completed = %v, want 11 (blocked behind job 1)", res.Jobs[1].Completed)
+	}
+}
+
+func TestFairProcessorSharing(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Size: 10, Width: 10, Priority: 1},
+		{ID: 2, Size: 10, Width: 10, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewFair(), fluid.Config{Capacity: 10, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range res.Jobs {
+		if math.Abs(jr.Completed-2) > 1e-6 {
+			t.Errorf("job %d completed = %v, want 2 (even sharing)", jr.ID, jr.Completed)
+		}
+	}
+}
+
+// TestFig1LAS reproduces the paper's motivating example (Fig. 1a): jobs A, B,
+// C with sizes 4, 4, 1 arriving at t = 0, 1, 2 on a unit-capacity cluster.
+func TestFig1LAS(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 4, Width: 1, Priority: 1}, // A
+		{ID: 2, Arrival: 1, Size: 4, Width: 1, Priority: 1}, // B
+		{ID: 3, Arrival: 2, Size: 1, Width: 1, Priority: 1}, // C
+	}
+	res, err := fluid.Run(specs, sched.NewLAS(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]float64{1: 9, 2: 8, 3: 1} // responses from Fig. 1a
+	for _, jr := range res.Jobs {
+		if math.Abs(jr.ResponseTime-wants[jr.ID]) > 1e-3 {
+			t.Errorf("LAS job %d response = %v, want %v", jr.ID, jr.ResponseTime, wants[jr.ID])
+		}
+	}
+}
+
+// TestFig1LASMQ reproduces Fig. 1b: with a 2-level queue (threshold 1) job A's
+// response time drops from 9 to 6 while B and C keep theirs.
+func TestFig1LASMQ(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 4, Width: 1, Priority: 1},
+		{ID: 2, Arrival: 1, Size: 4, Width: 1, Priority: 1},
+		{ID: 3, Arrival: 2, Size: 1, Width: 1, Priority: 1},
+	}
+	mq := newLASMQ(t, func(c *core.Config) {
+		c.Queues = 2
+		c.FirstThreshold = 1
+		// Fig. 1 assumes strict priority between the two queues; a huge decay
+		// emulates it.
+		c.QueueWeightDecay = 1e9
+	})
+	res, err := fluid.Run(specs, mq, cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]float64{1: 6, 2: 8, 3: 1}
+	for _, jr := range res.Jobs {
+		if math.Abs(jr.ResponseTime-wants[jr.ID]) > 1e-3 {
+			t.Errorf("LAS_MQ job %d response = %v, want %v", jr.ID, jr.ResponseTime, wants[jr.ID])
+		}
+	}
+}
+
+func TestUniformBatchFIFOBeatsProcessorSharing(t *testing.T) {
+	// Small-scale version of Fig. 7b: identical jobs in a batch. FIFO (and
+	// LAS_MQ) halve the mean response of Fair/LAS.
+	var specs []fluid.JobSpec
+	for i := 1; i <= 8; i++ {
+		specs = append(specs, fluid.JobSpec{ID: i, Size: 10, Width: 1, Priority: 1})
+	}
+	run := func(p sched.Scheduler) float64 {
+		res, err := fluid.Run(specs, p, cfg1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponseTime()
+	}
+	fifo := run(sched.NewFIFO())
+	fair := run(sched.NewFair())
+	las := run(sched.NewLAS())
+	mq := run(newLASMQ(t, nil))
+
+	if math.Abs(fifo-45) > 1e-6 { // (10+20+...+80)/8
+		t.Errorf("FIFO mean = %v, want 45", fifo)
+	}
+	if math.Abs(fair-80) > 1e-6 { // all complete at 80
+		t.Errorf("Fair mean = %v, want 80", fair)
+	}
+	if las < fifo {
+		t.Errorf("LAS mean %v beat FIFO %v on identical sizes", las, fifo)
+	}
+	if mq > 1.3*fifo {
+		t.Errorf("LAS_MQ mean %v should stay close to FIFO %v on identical sizes", mq, fifo)
+	}
+	if fair < 1.5*mq {
+		t.Errorf("Fair mean %v should be well above LAS_MQ %v on identical sizes", fair, mq)
+	}
+}
+
+func TestHeavyTailLASMQBeatsFair(t *testing.T) {
+	// A small heavy-tailed mix: many small jobs, one huge job.
+	r := rand.New(rand.NewSource(3))
+	var specs []fluid.JobSpec
+	arrival := 0.0
+	for i := 1; i <= 40; i++ {
+		size := 2 + r.Float64()*4
+		if i%10 == 0 {
+			size = 400
+		}
+		arrival += r.ExpFloat64() * 2
+		specs = append(specs, fluid.JobSpec{
+			ID: i, Arrival: arrival, Size: size,
+			Width: math.Max(1, math.Ceil(size)), Priority: r.Intn(5) + 1,
+		})
+	}
+	cfg := fluid.Config{Capacity: 10, TaskDuration: 1}
+	run := func(p sched.Scheduler) float64 {
+		res, err := fluid.Run(specs, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponseTime()
+	}
+	fair := run(sched.NewFair())
+	mq := run(newLASMQ(t, nil))
+	fifo := run(sched.NewFIFO())
+	if mq >= fair {
+		t.Errorf("LAS_MQ mean %v not better than Fair %v on heavy tail", mq, fair)
+	}
+	if fifo <= fair {
+		t.Errorf("FIFO mean %v should be worst on heavy tail (Fair %v)", fifo, fair)
+	}
+}
+
+func TestAdmissionLimit(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Size: 10, Width: 5, Priority: 1},
+		{ID: 2, Size: 10, Width: 5, Priority: 1},
+	}
+	cfg := fluid.Config{Capacity: 10, TaskDuration: 1, MaxRunningJobs: 1}
+	res, err := fluid.Run(specs, sched.NewFair(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].Completed-2) > 1e-6 {
+		t.Errorf("job 1 completed = %v, want 2", res.Jobs[0].Completed)
+	}
+	if math.Abs(res.Jobs[1].Completed-4) > 1e-6 {
+		t.Errorf("job 2 completed = %v, want 4 (admitted after job 1)", res.Jobs[1].Completed)
+	}
+}
+
+func TestIdlePeriodSkipped(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 1, Width: 1, Priority: 1},
+		{ID: 2, Arrival: 100, Size: 1, Width: 1, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewFIFO(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[1].Completed-101) > 1e-6 {
+		t.Errorf("job 2 completed = %v, want 101", res.Jobs[1].Completed)
+	}
+	if math.Abs(res.Jobs[1].ResponseTime-1) > 1e-6 {
+		t.Errorf("job 2 response = %v, want 1", res.Jobs[1].ResponseTime)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := []fluid.JobSpec{{ID: 1, Size: 1, Width: 1, Priority: 1}}
+	tests := []struct {
+		name  string
+		specs []fluid.JobSpec
+		cfg   fluid.Config
+	}{
+		{name: "zero capacity", specs: good, cfg: fluid.Config{Capacity: 0}},
+		{name: "negative step", specs: good, cfg: fluid.Config{Capacity: 1, MaxStep: -1}},
+		{name: "negative task duration", specs: good, cfg: fluid.Config{Capacity: 1, TaskDuration: -1}},
+		{name: "zero size", specs: []fluid.JobSpec{{ID: 1, Width: 1}}, cfg: cfg1()},
+		{name: "zero width", specs: []fluid.JobSpec{{ID: 1, Size: 1}}, cfg: cfg1()},
+		{name: "negative arrival", specs: []fluid.JobSpec{{ID: 1, Size: 1, Width: 1, Arrival: -1}}, cfg: cfg1()},
+		{
+			name: "duplicate IDs",
+			specs: []fluid.JobSpec{
+				{ID: 1, Size: 1, Width: 1},
+				{ID: 1, Size: 1, Width: 1},
+			},
+			cfg: cfg1(),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := fluid.Run(tt.specs, sched.NewFIFO(), tt.cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if _, err := fluid.Run(good, nil, cfg1()); err == nil {
+		t.Error("expected error for nil scheduler")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var specs []fluid.JobSpec
+	arrival := 0.0
+	for i := 1; i <= 30; i++ {
+		arrival += r.ExpFloat64()
+		specs = append(specs, fluid.JobSpec{
+			ID: i, Arrival: arrival, Size: 1 + r.Float64()*50,
+			Width: float64(1 + r.Intn(5)), Priority: 1 + r.Intn(5),
+		})
+	}
+	cfg := fluid.Config{Capacity: 5, TaskDuration: 1}
+	a, err := fluid.Run(specs, newLASMQ(t, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fluid.Run(specs, newLASMQ(t, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Errorf("job %d differs across identical runs:\n%+v\n%+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	policies := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewFIFO() },
+		func() sched.Scheduler { return sched.NewFair() },
+		func() sched.Scheduler { return sched.NewLAS() },
+		func() sched.Scheduler {
+			c := core.DefaultConfig()
+			c.FirstThreshold = 1
+			s, _ := core.New(c)
+			return s
+		},
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%15) + 1
+		var specs []fluid.JobSpec
+		arrival := 0.0
+		var totalSize float64
+		for i := 1; i <= count; i++ {
+			arrival += r.ExpFloat64() * 2
+			size := 0.5 + r.Float64()*30
+			totalSize += size
+			specs = append(specs, fluid.JobSpec{
+				ID: i, Arrival: arrival, Size: size,
+				Width: float64(1 + r.Intn(4)), Priority: 1 + r.Intn(5),
+			})
+		}
+		capacity := 3.0
+		for _, mk := range policies {
+			res, err := fluid.Run(specs, mk(), fluid.Config{Capacity: capacity, TaskDuration: 1})
+			if err != nil {
+				return false
+			}
+			if len(res.Jobs) != count {
+				return false
+			}
+			for _, jr := range res.Jobs {
+				if jr.ResponseTime <= 0 || jr.Completed < jr.Arrival {
+					return false
+				}
+				if jr.Slowdown < 1-1e-6 {
+					return false // cannot beat isolated execution
+				}
+			}
+			// Service conservation: the cluster cannot deliver more than
+			// capacity x makespan.
+			if totalSize > capacity*res.Makespan+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRTFPreemptsForShorterJob(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 100, Width: 1, Priority: 1},
+		{ID: 2, Arrival: 5, Size: 2, Width: 1, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewSRTF(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[1].Completed-7) > 1e-6 {
+		t.Errorf("short job completed = %v, want 7 (preempts long job)", res.Jobs[1].Completed)
+	}
+	if math.Abs(res.Jobs[0].Completed-102) > 1e-6 {
+		t.Errorf("long job completed = %v, want 102", res.Jobs[0].Completed)
+	}
+}
+
+func TestSJFWithBadEstimateHurts(t *testing.T) {
+	// The motivation experiment: an under-estimated large job blocks a small
+	// one under SJF; LAS_MQ (estimate-free) does not fall for it.
+	specs := []fluid.JobSpec{
+		{ID: 1, Arrival: 0, Size: 200, Width: 1, Priority: 1, SizeHint: 1}, // lies about its size
+		{ID: 2, Arrival: 1, Size: 5, Width: 1, Priority: 1},
+	}
+	sjf, err := fluid.Run(specs, sched.NewSJF(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := fluid.Run(specs, newLASMQ(t, nil), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sjf.Jobs[1].ResponseTime <= mq.Jobs[1].ResponseTime {
+		t.Errorf("small job under mis-estimated SJF (%v) should be worse than under LAS_MQ (%v)",
+			sjf.Jobs[1].ResponseTime, mq.Jobs[1].ResponseTime)
+	}
+}
+
+func TestMaxStepCapsAdvancement(t *testing.T) {
+	// With a step cap, extra scheduling rounds occur but results are
+	// unchanged.
+	specs := []fluid.JobSpec{
+		{ID: 1, Size: 100, Width: 1, Priority: 1},
+		{ID: 2, Arrival: 5, Size: 10, Width: 1, Priority: 1},
+	}
+	free, err := fluid.Run(specs, sched.NewFIFO(), fluid.Config{Capacity: 1, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := fluid.Run(specs, sched.NewFIFO(), fluid.Config{Capacity: 1, TaskDuration: 1, MaxStep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range free.Jobs {
+		if math.Abs(free.Jobs[i].ResponseTime-capped.Jobs[i].ResponseTime) > 1e-6 {
+			t.Errorf("job %d: capped response %v differs from uncapped %v",
+				i+1, capped.Jobs[i].ResponseTime, free.Jobs[i].ResponseTime)
+		}
+	}
+	if capped.Rounds <= free.Rounds {
+		t.Errorf("capped run used %d rounds, uncapped %d; expected more with MaxStep", capped.Rounds, free.Rounds)
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	specs := []fluid.JobSpec{{ID: 1, Size: 10, Width: 1, Priority: 1}}
+	res, err := fluid.Run(specs, sched.NewFIFO(), fluid.Config{Capacity: 2, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One width-1 job on capacity 2: utilization exactly 0.5 over its run.
+	if math.Abs(res.Utilization-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", res.Utilization)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := fluid.DefaultConfig()
+	if cfg.Capacity != 100 || cfg.TaskDuration != 1 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	specs := []fluid.JobSpec{
+		{ID: 1, Size: 4, Width: 1, Priority: 1},
+		{ID: 2, Arrival: 1, Size: 2, Width: 1, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewFIFO(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := res.ResponseTimes()
+	if len(rts) != 2 || rts[0] != 4 || rts[1] != 5 {
+		t.Errorf("ResponseTimes = %v", rts)
+	}
+	slow := res.Slowdowns()
+	if len(slow) != 2 || slow[0] != 1 || slow[1] != 2.5 {
+		t.Errorf("Slowdowns = %v", slow)
+	}
+	if got := res.MeanResponseTime(); math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	var empty fluid.Result
+	if empty.MeanResponseTime() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestSRTFHintClamped(t *testing.T) {
+	// A job with an under-estimated hint: once attained exceeds the hint,
+	// remaining-size hints clamp at zero and the run still completes.
+	specs := []fluid.JobSpec{
+		{ID: 1, Size: 10, Width: 1, Priority: 1, SizeHint: 2},
+		{ID: 2, Arrival: 1, Size: 3, Width: 1, Priority: 1},
+	}
+	res, err := fluid.Run(specs, sched.NewSRTF(), cfg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lying job keeps absolute priority (remaining hint 0).
+	if math.Abs(res.Jobs[0].Completed-10) > 1e-6 {
+		t.Errorf("job 1 completed = %v, want 10", res.Jobs[0].Completed)
+	}
+	if math.Abs(res.Jobs[1].Completed-13) > 1e-6 {
+		t.Errorf("job 2 completed = %v, want 13 (blocked by the lying job)", res.Jobs[1].Completed)
+	}
+}

@@ -1,0 +1,116 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lasmq/internal/dist"
+)
+
+// Built-in job functions mirroring the paper's Table I benchmarks.
+
+// WordCountMap emits (word, "1") for every word in the split.
+func WordCountMap(split string, emit func(key, value string)) {
+	for _, word := range strings.Fields(split) {
+		emit(word, "1")
+	}
+}
+
+// WordCountReduce sums the counts of one word.
+func WordCountReduce(key string, values []string) string {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue // counts are framework-generated; skip anything else
+		}
+		total += n
+	}
+	return strconv.Itoa(total)
+}
+
+// InvertedIndexMap emits (word, splitID) pairs; splits are expected to be
+// prefixed with "<id>\t".
+func InvertedIndexMap(split string, emit func(key, value string)) {
+	id, body, found := strings.Cut(split, "\t")
+	if !found {
+		body = split
+		id = "?"
+	}
+	seen := make(map[string]bool)
+	for _, word := range strings.Fields(body) {
+		if !seen[word] {
+			seen[word] = true
+			emit(word, id)
+		}
+	}
+}
+
+// InvertedIndexReduce joins the sorted distinct document IDs of one word.
+func InvertedIndexReduce(key string, values []string) string {
+	seen := make(map[string]bool, len(values))
+	var ids []string
+	for _, v := range values {
+		if !seen[v] {
+			seen[v] = true
+			ids = append(ids, v)
+		}
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// GrepMap emits (pattern, line) for lines containing the pattern.
+func GrepMap(pattern string) Mapper {
+	return func(split string, emit func(key, value string)) {
+		for _, line := range strings.Split(split, "\n") {
+			if strings.Contains(line, pattern) {
+				emit(pattern, line)
+			}
+		}
+	}
+}
+
+// CountReduce reports how many values a key received.
+func CountReduce(key string, values []string) string {
+	return strconv.Itoa(len(values))
+}
+
+// SynthesizeText builds deterministic pseudo-text splits for tests and
+// examples: nSplits splits of wordsPerSplit words drawn Zipf-ishly from a
+// vocabulary.
+func SynthesizeText(nSplits, wordsPerSplit, vocabulary int, seed int64) []string {
+	r := dist.New(seed)
+	vocab := make([]string, vocabulary)
+	for i := range vocab {
+		vocab[i] = "w" + strconv.Itoa(i)
+	}
+	splits := make([]string, nSplits)
+	var b strings.Builder
+	for s := range splits {
+		b.Reset()
+		for w := 0; w < wordsPerSplit; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocab[zipfIndex(r, vocabulary)])
+		}
+		splits[s] = b.String()
+	}
+	return splits
+}
+
+// zipfIndex draws a vocabulary index with a Zipf-like skew (common words
+// dominate, as in real text).
+func zipfIndex(r *rand.Rand, n int) int {
+	// Squaring a uniform variate biases toward low indices with the right
+	// general shape and no state.
+	u := r.Float64()
+	idx := int(u * u * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

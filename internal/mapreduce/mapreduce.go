@@ -1,0 +1,255 @@
+// Package mapreduce is a minimal MapReduce framework executing on the
+// mini-YARN cluster — the "big data processing system" of the paper's title,
+// made concrete. Map tasks run a user Mapper over input splits and partition
+// their emissions by key hash across reducers; the shuffle barrier falls out
+// of the cluster's stage-dependency handling (reduce tasks only start once
+// the map stage completes, exactly the constraint the paper's Sec. III-D
+// models); reduce tasks fold each key's values with a user Reducer.
+//
+// The point of running real computation is that the scheduler under test
+// (LAS_MQ or any baseline) sees genuine Hadoop-shaped jobs: per-task
+// durations the framework can only estimate, stage progress it can observe,
+// and container demand from real remaining tasks.
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+	"lasmq/internal/yarn"
+)
+
+// Mapper processes one input split, emitting key/value pairs.
+type Mapper func(split string, emit func(key, value string))
+
+// Reducer folds all values observed for one key into a single output value.
+type Reducer func(key string, values []string) string
+
+// Job is one MapReduce job.
+type Job struct {
+	// ID uniquely identifies the job within a Run call.
+	ID int
+	// Name labels the job in reports.
+	Name string
+	// Priority in [1,5] (used by the Fair baseline).
+	Priority int
+	// Splits are the input splits; each becomes one map task.
+	Splits []string
+	// Reducers is the number of reduce tasks (each takes 2 containers, as
+	// in the paper's implementation).
+	Reducers int
+	// Map and Reduce are the job's functions. They may run concurrently
+	// across tasks and must not share mutable state.
+	Map    Mapper
+	Reduce Reducer
+	// MapSeconds and ReduceSeconds are per-task duration estimates handed to
+	// the scheduler (spec seconds); zero defaults to 10.
+	MapSeconds    float64
+	ReduceSeconds float64
+}
+
+func (j *Job) validate() error {
+	if len(j.Splits) == 0 {
+		return fmt.Errorf("mapreduce: job %d has no input splits", j.ID)
+	}
+	if j.Reducers <= 0 {
+		return fmt.Errorf("mapreduce: job %d needs at least one reducer", j.ID)
+	}
+	if j.Map == nil || j.Reduce == nil {
+		return fmt.Errorf("mapreduce: job %d is missing its map or reduce function", j.ID)
+	}
+	if j.MapSeconds < 0 || j.ReduceSeconds < 0 {
+		return fmt.Errorf("mapreduce: job %d has negative duration estimates", j.ID)
+	}
+	return nil
+}
+
+// Output is a job's final key -> reduced value mapping.
+type Output map[string]string
+
+// Result reports a Run: per-job outputs plus the cluster's job reports
+// (response times in spec seconds).
+type Result struct {
+	Outputs map[int]Output
+	Reports []yarn.JobReport
+}
+
+// Run executes the jobs concurrently on a dedicated mini-YARN cluster built
+// from cfg and policy, waits for all of them, and returns their outputs.
+func Run(cfg yarn.Config, policy sched.Scheduler, jobs []Job) (*Result, error) {
+	return RunWithContext(context.Background(), cfg, policy, jobs)
+}
+
+// RunWithContext is Run with a cancellation/deadline context.
+func RunWithContext(ctx context.Context, cfg yarn.Config, policy sched.Scheduler, jobs []Job) (*Result, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("mapreduce: no jobs")
+	}
+	seen := make(map[int]bool, len(jobs))
+	for i := range jobs {
+		if err := jobs[i].validate(); err != nil {
+			return nil, err
+		}
+		if seen[jobs[i].ID] {
+			return nil, fmt.Errorf("mapreduce: duplicate job ID %d", jobs[i].ID)
+		}
+		seen[jobs[i].ID] = true
+	}
+
+	cluster, err := yarn.New(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Start()
+	defer cluster.Shutdown()
+
+	execs := make(map[int]*execution, len(jobs))
+	for i := range jobs {
+		exec := newExecution(&jobs[i])
+		execs[jobs[i].ID] = exec
+		if err := cluster.SubmitWithWork(exec.spec(), exec.runTask); err != nil {
+			return nil, err
+		}
+	}
+	reports, err := cluster.Drain(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Outputs: make(map[int]Output, len(jobs)), Reports: reports}
+	for id, exec := range execs {
+		res.Outputs[id] = exec.output()
+	}
+	return res, nil
+}
+
+// execution holds one job's intermediate and final state across its
+// concurrently running tasks.
+type execution struct {
+	job *Job
+
+	// buckets[r] collects the key/value pairs destined for reducer r.
+	mu      []sync.Mutex
+	buckets [][]kv
+
+	outMu sync.Mutex
+	out   Output
+}
+
+type kv struct{ key, value string }
+
+func newExecution(j *Job) *execution {
+	return &execution{
+		job:     j,
+		mu:      make([]sync.Mutex, j.Reducers),
+		buckets: make([][]kv, j.Reducers),
+		out:     make(Output),
+	}
+}
+
+// spec translates the MapReduce job into a cluster job: one 1-container task
+// per split, then Reducers 2-container tasks.
+func (e *execution) spec() job.Spec {
+	mapSec := e.job.MapSeconds
+	if mapSec == 0 {
+		mapSec = 10
+	}
+	redSec := e.job.ReduceSeconds
+	if redSec == 0 {
+		redSec = 10
+	}
+	maps := make([]job.TaskSpec, len(e.job.Splits))
+	for i := range maps {
+		maps[i] = job.TaskSpec{Duration: mapSec, Containers: 1}
+	}
+	reduces := make([]job.TaskSpec, e.job.Reducers)
+	for i := range reduces {
+		reduces[i] = job.TaskSpec{Duration: redSec, Containers: 2}
+	}
+	return job.Spec{
+		ID:       e.job.ID,
+		Name:     e.job.Name,
+		Priority: e.job.Priority,
+		Stages: []job.StageSpec{
+			{Name: "map", Tasks: maps},
+			{Name: "reduce", Tasks: reduces},
+		},
+	}
+}
+
+// runTask executes one task attempt (called from NodeManager goroutines).
+func (e *execution) runTask(stage, task int) {
+	switch stage {
+	case 0:
+		e.runMap(task)
+	case 1:
+		e.runReduce(task)
+	}
+}
+
+func (e *execution) runMap(task int) {
+	split := e.job.Splits[task]
+	e.job.Map(split, func(key, value string) {
+		r := int(hashKey(key) % uint32(e.job.Reducers))
+		e.mu[r].Lock()
+		e.buckets[r] = append(e.buckets[r], kv{key: key, value: value})
+		e.mu[r].Unlock()
+	})
+}
+
+func (e *execution) runReduce(task int) {
+	// The map stage has completed (cluster stage dependency), so the bucket
+	// is complete; the lock still guards against memory-model surprises.
+	e.mu[task].Lock()
+	bucket := e.buckets[task]
+	e.mu[task].Unlock()
+
+	grouped := make(map[string][]string)
+	for _, pair := range bucket {
+		grouped[pair.key] = append(grouped[pair.key], pair.value)
+	}
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic reduce order
+	for _, k := range keys {
+		v := e.job.Reduce(k, grouped[k])
+		e.outMu.Lock()
+		e.out[k] = v
+		e.outMu.Unlock()
+	}
+}
+
+func (e *execution) output() Output {
+	e.outMu.Lock()
+	defer e.outMu.Unlock()
+	out := make(Output, len(e.out))
+	for k, v := range e.out {
+		out[k] = v
+	}
+	return out
+}
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// DefaultClusterConfig returns a cluster configuration suitable for running
+// real MapReduce work: task durations come from the work itself, so the time
+// scale only affects heartbeat pacing.
+func DefaultClusterConfig() yarn.Config {
+	cfg := yarn.DefaultConfig()
+	cfg.TimeScale = 100 * time.Microsecond
+	cfg.HeartbeatInterval = time.Millisecond
+	return cfg
+}

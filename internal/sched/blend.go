@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Blend mixes two policies' allocations convexly — the paper's second
+// future-work direction ("design a tunable parameter to make the tradeoff
+// [between fairness and job response times] and flexibly adjust the
+// performance as needed"). With theta = 0 the blend is the primary policy
+// (e.g. LAS_MQ, best mean response); with theta = 1 it is the secondary
+// (e.g. Fair, best fairness); values in between trade mean response time for
+// tail slowdown.
+//
+// Because both component allocations respect capacity and per-job demand,
+// any convex combination does too, and the blend stays work conserving when
+// both components are.
+type Blend struct {
+	primary   Scheduler
+	secondary Scheduler
+	theta     float64
+}
+
+var (
+	_ Scheduler = (*Blend)(nil)
+	_ Hinter    = (*Blend)(nil)
+)
+
+// NewBlend returns a scheduler allocating
+// (1-theta)*primary + theta*secondary. theta must be in [0, 1].
+func NewBlend(primary, secondary Scheduler, theta float64) (*Blend, error) {
+	if primary == nil || secondary == nil {
+		return nil, fmt.Errorf("sched: blend components must be non-nil")
+	}
+	if theta < 0 || theta > 1 {
+		return nil, fmt.Errorf("sched: blend theta must be in [0,1], got %v", theta)
+	}
+	return &Blend{primary: primary, secondary: secondary, theta: theta}, nil
+}
+
+// Name implements Scheduler.
+func (b *Blend) Name() string {
+	return fmt.Sprintf("BLEND(%s,%s,%.2f)", b.primary.Name(), b.secondary.Name(), b.theta)
+}
+
+// Theta returns the blend parameter.
+func (b *Blend) Theta() float64 { return b.theta }
+
+// Assign implements Scheduler.
+func (b *Blend) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	if b.theta == 0 {
+		return b.primary.Assign(now, capacity, jobs)
+	}
+	if b.theta == 1 {
+		return b.secondary.Assign(now, capacity, jobs)
+	}
+	pa := b.primary.Assign(now, capacity, jobs)
+	sa := b.secondary.Assign(now, capacity, jobs)
+	out := make(Assignment, len(pa)+len(sa))
+	for id, x := range pa {
+		out[id] += (1 - b.theta) * x
+	}
+	for id, x := range sa {
+		out[id] += b.theta * x
+	}
+	return out
+}
+
+// Horizon implements Hinter: the earliest change point of either component,
+// evaluated against the blended allocation (both components' horizons are
+// pure functions of the allocation they are given).
+func (b *Blend) Horizon(now float64, jobs []JobView, alloc Assignment) float64 {
+	horizon := math.Inf(1)
+	if h, ok := b.primary.(Hinter); ok {
+		if t := h.Horizon(now, jobs, alloc); t < horizon {
+			horizon = t
+		}
+	}
+	if h, ok := b.secondary.(Hinter); ok {
+		if t := h.Horizon(now, jobs, alloc); t < horizon {
+			horizon = t
+		}
+	}
+	return horizon
+}

@@ -1,0 +1,26 @@
+package sched
+
+// Fair is the YARN Fair scheduler baseline: capacity is shared among
+// runnable jobs proportionally to their priorities (the paper draws
+// priorities uniformly from [1,5]), with demand-capped max-min water
+// filling so unused share flows to jobs that can use it.
+type Fair struct{}
+
+// NewFair returns the Fair baseline scheduler.
+func NewFair() *Fair { return &Fair{} }
+
+var _ Scheduler = (*Fair)(nil)
+
+// Name implements Scheduler.
+func (f *Fair) Name() string { return "FAIR" }
+
+// Assign implements Scheduler.
+func (f *Fair) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	return weightedFill(capacity, jobs, func(j JobView) float64 {
+		p := j.Priority()
+		if p <= 0 {
+			p = 1
+		}
+		return float64(p)
+	})
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// LAS is the least-attained-service baseline: all capacity goes to the jobs
+// that have received the least service so far. Jobs whose attained service is
+// (numerically) equal form a tie group and share capacity evenly, which makes
+// the policy degrade to processor sharing when many equal-size jobs are
+// present — exactly the pathology LAS_MQ is designed to avoid.
+type LAS struct{}
+
+// NewLAS returns the LAS baseline scheduler.
+func NewLAS() *LAS { return &LAS{} }
+
+var (
+	_ Scheduler = (*LAS)(nil)
+	_ Hinter    = (*LAS)(nil)
+)
+
+// lasTieEps is the tolerance under which two attained-service values are
+// considered equal and their jobs share capacity evenly. Without a tolerance
+// the fluid simulation would ping-pong between tied jobs in zero-length
+// steps.
+const lasTieEps = 1e-6
+
+// Name implements Scheduler.
+func (l *LAS) Name() string { return "LAS" }
+
+// Assign implements Scheduler.
+func (l *LAS) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	ordered := append([]JobView(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Attained() != ordered[j].Attained() {
+			return ordered[i].Attained() < ordered[j].Attained()
+		}
+		return ordered[i].Seq() < ordered[j].Seq()
+	})
+	alloc := make(Assignment, len(ordered))
+	i := 0
+	for i < len(ordered) && capacity > 0 {
+		// Collect the tie group starting at i.
+		groupEnd := i + 1
+		for groupEnd < len(ordered) && ordered[groupEnd].Attained()-ordered[i].Attained() <= lasTieEps {
+			groupEnd++
+		}
+		group := ordered[i:groupEnd]
+		// Evenly share remaining capacity within the group, capped by demand
+		// (unweighted max-min).
+		groupAlloc := weightedFill(capacity, group, func(JobView) float64 { return 1 })
+		for id, x := range groupAlloc {
+			alloc[id] = x
+			capacity -= x
+		}
+		i = groupEnd
+	}
+	return alloc
+}
+
+// Horizon implements Hinter: the decision changes when a served job's
+// attained service catches up with the attained service of a job that is
+// currently ahead of it.
+func (l *LAS) Horizon(now float64, jobs []JobView, alloc Assignment) float64 {
+	// Collect attained levels of all jobs, and find for each served job the
+	// next level strictly above its own.
+	levels := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		levels = append(levels, j.Attained())
+	}
+	sort.Float64s(levels)
+
+	horizon := math.Inf(1)
+	for _, j := range jobs {
+		rate := alloc[j.ID()]
+		if rate <= 0 {
+			continue
+		}
+		a := j.Attained()
+		// Next attained level strictly above a (beyond the tie tolerance).
+		idx := sort.SearchFloat64s(levels, a+lasTieEps)
+		if idx >= len(levels) {
+			continue
+		}
+		t := now + (levels[idx]-a)/rate
+		if t < horizon {
+			horizon = t
+		}
+	}
+	if horizon <= now {
+		return math.Inf(1)
+	}
+	return horizon
+}

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantize converts fractional container shares into whole containers using
+// the largest-remainder method, never exceeding capacity, each job's demand
+// cap, or (in total) the sum of the fractional shares rounded to the nearest
+// whole container. The task-level engine uses it to turn policy output into
+// physical container counts.
+//
+// Ties in the fractional remainders are broken by ascending job ID so that
+// quantization is deterministic.
+func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]int {
+	type share struct {
+		id    int
+		whole int
+		frac  float64
+	}
+	shares := make([]share, 0, len(alloc))
+	total := 0
+	for id, x := range alloc {
+		if x <= 0 {
+			continue
+		}
+		if d, ok := demand[id]; ok && x > d {
+			x = d
+		}
+		whole := int(math.Floor(x + 1e-9))
+		shares = append(shares, share{id: id, whole: whole, frac: x - float64(whole)})
+		total += whole
+	}
+	// Distribute the remaining whole containers (from summed fractions) to the
+	// largest remainders first.
+	budget := int(math.Round(alloc.Total()))
+	if budget > capacity {
+		budget = capacity
+	}
+	// Defensive: if the floored shares already exceed the budget (a policy
+	// over-allocated), trim the largest holders first, deterministically.
+	if total > budget {
+		trim := make([]int, len(shares))
+		for i := range shares {
+			trim[i] = i
+		}
+		sort.Slice(trim, func(a, b int) bool {
+			if shares[trim[a]].whole != shares[trim[b]].whole {
+				return shares[trim[a]].whole > shares[trim[b]].whole
+			}
+			return shares[trim[a]].id < shares[trim[b]].id
+		})
+		for i := 0; total > budget; i = (i + 1) % len(trim) {
+			if shares[trim[i]].whole > 0 {
+				shares[trim[i]].whole--
+				total--
+			}
+		}
+	}
+	remaining := budget - total
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].frac != shares[j].frac {
+			return shares[i].frac > shares[j].frac
+		}
+		return shares[i].id < shares[j].id
+	})
+	result := make(map[int]int, len(shares))
+	for _, s := range shares {
+		n := s.whole
+		if remaining > 0 && s.frac > 1e-9 {
+			limit := math.Inf(1)
+			if d, ok := demand[s.id]; ok {
+				limit = d
+			}
+			if float64(n+1) <= limit+1e-9 {
+				n++
+				remaining--
+			}
+		}
+		if n > 0 {
+			result[s.id] = n
+		}
+	}
+	return result
+}

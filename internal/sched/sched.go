@@ -1,0 +1,148 @@
+// Package sched defines the scheduling policy interface shared by the
+// task-level cluster simulator (internal/engine) and the fluid trace
+// simulator (internal/fluid), plus the baseline policies the paper compares
+// against: FIFO, Fair, LAS, and SJF/SRTF (the motivation baselines that
+// require a priori size information).
+//
+// A policy is pure: it observes a snapshot of runnable jobs and returns a
+// container share per job. Engines are responsible for enforcing capacity,
+// quantizing shares to whole containers where needed, and driving time.
+package sched
+
+import "math"
+
+// JobView is the scheduler-facing snapshot of one runnable job. Both
+// simulation engines implement it.
+type JobView interface {
+	// ID uniquely identifies the job within a run.
+	ID() int
+	// Seq is the admission sequence number; lower means admitted earlier.
+	// FIFO and all tie-breaks use Seq so runs are deterministic.
+	Seq() int
+	// Priority is the job priority (the paper draws integers in [1,5]);
+	// the Fair scheduler shares capacity proportionally to it.
+	Priority() int
+	// Attained is the exact service consumed so far, in container-time units.
+	Attained() float64
+	// Estimated is the service estimate used for queue demotion: attained
+	// service plus the stage-aware projection of the current stage when the
+	// engine supports stage progress, otherwise equal to Attained.
+	Estimated() float64
+	// ReadyDemand is the number of containers the job can use right now
+	// (ready tasks of the current stage, respecting stage dependencies).
+	ReadyDemand() float64
+	// RemainingDemand is the number of containers needed by all remaining
+	// tasks of the current stage, including running ones. LAS_MQ orders jobs
+	// within a queue by this value.
+	RemainingDemand() float64
+	// SizeHint is an a priori estimate of the job's total service, used only
+	// by the SJF baseline. Engines may perturb it to model estimation error.
+	SizeHint() float64
+	// RemainingSizeHint estimates the job's remaining service, used only by
+	// the SRTF baseline.
+	RemainingSizeHint() float64
+}
+
+// Assignment maps job ID to the container share granted this round.
+// Shares are fractional; the task-level engine quantizes them.
+type Assignment map[int]float64
+
+// Scheduler decides how cluster capacity is split among runnable jobs.
+type Scheduler interface {
+	// Name identifies the policy in reports (e.g. "LAS_MQ", "FAIR").
+	Name() string
+	// Assign returns the share of capacity granted to each job. The sum of
+	// shares must not exceed capacity and no job may receive more than its
+	// ReadyDemand.
+	Assign(now float64, capacity float64, jobs []JobView) Assignment
+}
+
+// Hinter is implemented by policies whose decision can change before the
+// next external event (arrival or completion). The fluid engine uses the
+// horizon to re-invoke the scheduler exactly when needed, e.g. at LAS
+// catch-up points or LAS_MQ queue-threshold crossings.
+type Hinter interface {
+	// Horizon returns the earliest virtual time strictly after now at which
+	// the policy's decision could change given the allocation it just
+	// returned, or +Inf if only external events can change it.
+	Horizon(now float64, jobs []JobView, alloc Assignment) float64
+}
+
+// Total returns the sum of all shares in the assignment.
+func (a Assignment) Total() float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v
+	}
+	return sum
+}
+
+// fillInOrder grants each job min(ReadyDemand, remaining capacity) in the
+// given order and returns the assignment. Jobs with zero demand get no entry.
+func fillInOrder(capacity float64, jobs []JobView) Assignment {
+	alloc := make(Assignment, len(jobs))
+	for _, j := range jobs {
+		if capacity <= 0 {
+			break
+		}
+		d := j.ReadyDemand()
+		if d <= 0 {
+			continue
+		}
+		x := math.Min(capacity, d)
+		alloc[j.ID()] = x
+		capacity -= x
+	}
+	return alloc
+}
+
+// weightedFill performs demand-capped weighted max-min sharing (progressive
+// water filling): capacity is split proportionally to weights, and jobs whose
+// demand is below their proportional share return the excess to the rest.
+func weightedFill(capacity float64, jobs []JobView, weight func(JobView) float64) Assignment {
+	alloc := make(Assignment, len(jobs))
+	type entry struct {
+		job    JobView
+		demand float64
+		weight float64
+	}
+	var active []entry
+	for _, j := range jobs {
+		d := j.ReadyDemand()
+		w := weight(j)
+		if d <= 0 || w <= 0 {
+			continue
+		}
+		active = append(active, entry{job: j, demand: d, weight: w})
+	}
+	const eps = 1e-12
+	for capacity > eps && len(active) > 0 {
+		var totalW float64
+		for _, e := range active {
+			totalW += e.weight
+		}
+		perWeight := capacity / totalW
+		// Saturate every job whose demand is within its proportional share.
+		var next []entry
+		saturated := false
+		for _, e := range active {
+			share := perWeight * e.weight
+			if e.demand <= share+eps {
+				alloc[e.job.ID()] += e.demand
+				capacity -= e.demand
+				saturated = true
+			} else {
+				next = append(next, e)
+			}
+		}
+		if !saturated {
+			// No bottlenecked jobs: everyone takes the proportional share.
+			for _, e := range active {
+				alloc[e.job.ID()] += perWeight * e.weight
+			}
+			return alloc
+		}
+		active = next
+	}
+	return alloc
+}

@@ -1,0 +1,43 @@
+// Package schedtest provides a fake sched.JobView for tests of scheduling
+// policies and engines.
+package schedtest
+
+// FakeJob is a configurable sched.JobView.
+type FakeJob struct {
+	JobID        int
+	JobSeq       int
+	JobPriority  int
+	AttainedVal  float64
+	EstimatedVal float64
+	ReadyVal     float64
+	RemainingVal float64
+	SizeHintVal  float64
+	RemSizeVal   float64
+}
+
+// ID implements sched.JobView.
+func (f *FakeJob) ID() int { return f.JobID }
+
+// Seq implements sched.JobView.
+func (f *FakeJob) Seq() int { return f.JobSeq }
+
+// Priority implements sched.JobView.
+func (f *FakeJob) Priority() int { return f.JobPriority }
+
+// Attained implements sched.JobView.
+func (f *FakeJob) Attained() float64 { return f.AttainedVal }
+
+// Estimated implements sched.JobView.
+func (f *FakeJob) Estimated() float64 { return f.EstimatedVal }
+
+// ReadyDemand implements sched.JobView.
+func (f *FakeJob) ReadyDemand() float64 { return f.ReadyVal }
+
+// RemainingDemand implements sched.JobView.
+func (f *FakeJob) RemainingDemand() float64 { return f.RemainingVal }
+
+// SizeHint implements sched.JobView.
+func (f *FakeJob) SizeHint() float64 { return f.SizeHintVal }
+
+// RemainingSizeHint implements sched.JobView.
+func (f *FakeJob) RemainingSizeHint() float64 { return f.RemSizeVal }

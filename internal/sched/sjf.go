@@ -1,0 +1,53 @@
+package sched
+
+import "sort"
+
+// SJF is the shortest-job-first policy that the paper's introduction argues
+// against: it needs a priori size information (JobView.SizeHint). Engines may
+// perturb the hint to model estimation error, reproducing the paper's claim
+// that under-estimated large jobs delay all smaller jobs behind them.
+type SJF struct{}
+
+// NewSJF returns the SJF baseline scheduler.
+func NewSJF() *SJF { return &SJF{} }
+
+var _ Scheduler = (*SJF)(nil)
+
+// Name implements Scheduler.
+func (s *SJF) Name() string { return "SJF" }
+
+// Assign implements Scheduler.
+func (s *SJF) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	ordered := append([]JobView(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].SizeHint() != ordered[j].SizeHint() {
+			return ordered[i].SizeHint() < ordered[j].SizeHint()
+		}
+		return ordered[i].Seq() < ordered[j].Seq()
+	})
+	return fillInOrder(capacity, ordered)
+}
+
+// SRTF is the preemptive shortest-remaining-time-first policy. Like SJF it
+// requires size information (JobView.RemainingSizeHint).
+type SRTF struct{}
+
+// NewSRTF returns the SRTF baseline scheduler.
+func NewSRTF() *SRTF { return &SRTF{} }
+
+var _ Scheduler = (*SRTF)(nil)
+
+// Name implements Scheduler.
+func (s *SRTF) Name() string { return "SRTF" }
+
+// Assign implements Scheduler.
+func (s *SRTF) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	ordered := append([]JobView(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].RemainingSizeHint() != ordered[j].RemainingSizeHint() {
+			return ordered[i].RemainingSizeHint() < ordered[j].RemainingSizeHint()
+		}
+		return ordered[i].Seq() < ordered[j].Seq()
+	})
+	return fillInOrder(capacity, ordered)
+}

@@ -1,0 +1,198 @@
+// Package stats computes the evaluation metrics reported in the paper:
+// average job response times, per-bin aggregates, response-time and slowdown
+// CDFs, and normalized response times (Fair / algorithm).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of values. It returns a zero Summary for an
+// empty input.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 0.50),
+		P90:    percentileSorted(sorted, 0.90),
+		P99:    percentileSorted(sorted, 0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Percentile returns the q-quantile (q in [0,1]) using linear interpolation
+// between closest ranks. It returns 0 for an empty input.
+func Percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+func percentileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // observation value
+	P float64 // fraction of observations <= X
+}
+
+// CDF returns the empirical CDF of values as a step function sampled at each
+// distinct observation.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	points := make([]CDFPoint, 0, len(sorted))
+	for i, v := range sorted {
+		if i+1 < len(sorted) && sorted[i+1] == v {
+			continue // keep only the last occurrence of each distinct value
+		}
+		points = append(points, CDFPoint{X: v, P: float64(i+1) / n})
+	}
+	return points
+}
+
+// FractionBelow reports the fraction of observations <= x.
+func FractionBelow(values []float64, x float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range values {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(values))
+}
+
+// GroupMeans computes the mean of values per group key, e.g. average response
+// time per workload bin. Keys absent from the input are absent from the
+// result.
+func GroupMeans(keys []int, values []float64) (map[int]float64, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("stats: %d keys but %d values", len(keys), len(values))
+	}
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for i, k := range keys {
+		sums[k] += values[i]
+		counts[k]++
+	}
+	means := make(map[int]float64, len(sums))
+	for k, s := range sums {
+		means[k] = s / float64(counts[k])
+	}
+	return means, nil
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) of the values,
+// in (0, 1]: 1 means perfectly equal values (e.g. identical slowdowns —
+// every job stretched by the same factor), 1/n means one job received
+// everything. The paper evaluates fairness through slowdowns; the index
+// condenses a slowdown distribution into one number.
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	// Scale by the largest magnitude so squaring cannot overflow.
+	var maxAbs float64
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1 // all zero: perfectly equal
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		s := v / maxAbs
+		sum += s
+		sumSq += s * s
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// Normalized returns the paper's "normalized average job response time":
+// the Fair scheduler's result divided by the algorithm's result. Values above
+// 1 mean the algorithm beats Fair. It returns +Inf when algorithm is 0 and
+// fair is positive, and 0 when both are 0.
+func Normalized(fair, algorithm float64) float64 {
+	if algorithm == 0 {
+		if fair == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return fair / algorithm
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{7}, want: 7},
+		{name: "several", give: []float64{1, 2, 3}, want: 2},
+		{name: "negative", give: []float64{-2, 2}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); got != tt.want {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	values := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 10},
+		{q: 1, want: 100},
+		{q: 0.5, want: 55},
+		{q: -0.5, want: 10},
+		{q: 1.5, want: 100},
+	}
+	for _, tt := range tests {
+		if got := Percentile(values, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(q=%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	points := CDF([]float64{3, 1, 2, 2})
+	want := []CDFPoint{{X: 1, P: 0.25}, {X: 2, P: 0.75}, {X: 3, P: 1}}
+	if len(points) != len(want) {
+		t.Fatalf("CDF has %d points, want %d: %v", len(points), len(want), points)
+	}
+	for i := range want {
+		if points[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, points[i], want[i])
+		}
+	}
+	if got := CDF(nil); got != nil {
+		t.Errorf("CDF(nil) = %v, want nil", got)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(values []float64) bool {
+		for i, v := range values {
+			if math.IsNaN(v) {
+				values[i] = 0
+			}
+		}
+		points := CDF(values)
+		if len(values) == 0 {
+			return points == nil
+		}
+		// P must be non-decreasing, end at 1, and X strictly increasing.
+		prevP, prevX := 0.0, math.Inf(-1)
+		for _, pt := range points {
+			if pt.P < prevP || pt.X <= prevX {
+				return false
+			}
+			prevP, prevX = pt.P, pt.X
+		}
+		return math.Abs(points[len(points)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	values := []float64{100, 200, 300, 400}
+	if got := FractionBelow(values, 250); got != 0.5 {
+		t.Errorf("FractionBelow(250) = %v, want 0.5", got)
+	}
+	if got := FractionBelow(values, 50); got != 0 {
+		t.Errorf("FractionBelow(50) = %v, want 0", got)
+	}
+	if got := FractionBelow(values, 400); got != 1 {
+		t.Errorf("FractionBelow(400) = %v, want 1", got)
+	}
+	if got := FractionBelow(nil, 10); got != 0 {
+		t.Errorf("FractionBelow(nil) = %v, want 0", got)
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	keys := []int{1, 1, 2, 4}
+	values := []float64{10, 20, 30, 40}
+	means, err := GroupMeans(keys, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[1] != 15 || means[2] != 30 || means[4] != 40 {
+		t.Errorf("GroupMeans = %v", means)
+	}
+	if _, ok := means[3]; ok {
+		t.Error("GroupMeans invented a key")
+	}
+}
+
+func TestGroupMeansLengthMismatch(t *testing.T) {
+	if _, err := GroupMeans([]int{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "equal values", give: []float64{3, 3, 3, 3}, want: 1},
+		{name: "all zero", give: []float64{0, 0}, want: 1},
+		{name: "single", give: []float64{7}, want: 1},
+		{name: "one job gets all", give: []float64{10, 0, 0, 0}, want: 0.25},
+		{name: "two of four", give: []float64{5, 5, 0, 0}, want: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JainIndex(tt.give); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("JainIndex(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, math.Abs(v))
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		j := JainIndex(values)
+		return j >= 1/float64(len(values))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(200, 100); got != 2 {
+		t.Errorf("Normalized(200,100) = %v, want 2", got)
+	}
+	if got := Normalized(100, 200); got != 0.5 {
+		t.Errorf("Normalized(100,200) = %v, want 0.5", got)
+	}
+	if got := Normalized(0, 0); got != 0 {
+		t.Errorf("Normalized(0,0) = %v, want 0", got)
+	}
+	if got := Normalized(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("Normalized(5,0) = %v, want +Inf", got)
+	}
+}
+
+func TestPercentileMatchesSortedIndexForExactRanks(t *testing.T) {
+	f := func(raw []float64) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		return Percentile(values, 0) == sorted[0] && Percentile(values, 1) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the trace parser never panics on arbitrary input and
+// that anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,arrival,size,width,priority\n1,0,10,2,1\n")
+	f.Add("id,arrival,size,width,priority\n")
+	f.Add("")
+	f.Add("id,arrival,size,width,priority\n1,0,abc,2,1\n")
+	f.Add("garbage")
+	f.Add("id,arrival,size,width,priority\n1,0,10,2,1\n2,5,3.5,1,4\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		specs, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, specs); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if len(back) != len(specs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(specs), len(back))
+		}
+	})
+}

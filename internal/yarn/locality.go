@@ -1,0 +1,23 @@
+package yarn
+
+import (
+	"fmt"
+
+	"lasmq/internal/dfs"
+)
+
+// LocalityFromDFS builds a job Locality from an HDFS-like store: the job's
+// i-th first-stage (map) task reads block i of the given file, as the
+// paper's implementation derives map tasks from input splits. remotePenalty
+// multiplies a map task's duration when it runs on a node without the block.
+func LocalityFromDFS(store *dfs.Store, file string, remotePenalty float64) (Locality, error) {
+	blocks := store.Blocks(file)
+	if len(blocks) == 0 {
+		return Locality{}, fmt.Errorf("yarn: file %q has no blocks in the store", file)
+	}
+	preferred := make([][]int, len(blocks))
+	for i, b := range blocks {
+		preferred[i] = append([]int(nil), b.Replicas...)
+	}
+	return Locality{PreferredNodes: preferred, RemotePenalty: remotePenalty}, nil
+}

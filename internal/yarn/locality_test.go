@@ -1,0 +1,164 @@
+package yarn
+
+import (
+	"testing"
+
+	"lasmq/internal/dfs"
+	"lasmq/internal/sched"
+)
+
+func TestSubmitWithLocalityValidation(t *testing.T) {
+	c, err := New(fastConfig(), sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	spec := uniformJob(1, 4, 10)
+	if err := c.SubmitWithLocality(spec, Locality{
+		PreferredNodes: [][]int{{0}}, // wrong length
+		RemotePenalty:  2,
+	}); err == nil {
+		t.Error("expected error for mismatched locality length")
+	}
+	if err := c.SubmitWithLocality(spec, Locality{
+		PreferredNodes: [][]int{{0}, {0}, {0}, {0}},
+		RemotePenalty:  0.5, // < 1
+	}); err == nil {
+		t.Error("expected error for penalty < 1")
+	}
+	if err := c.SubmitWithLocality(spec, Locality{
+		PreferredNodes: [][]int{{0}, {0}, {0}, {99}}, // unknown node
+		RemotePenalty:  2,
+	}); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+func TestLocalityPreferredNodesUsed(t *testing.T) {
+	cfg := fastConfig() // 2 nodes x 4 containers
+	c, err := New(cfg, sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	// 8 tasks, blocks alternating between the two nodes; capacity suffices,
+	// so every task can run local.
+	spec := uniformJob(1, 8, 10)
+	preferred := make([][]int, 8)
+	for i := range preferred {
+		preferred[i] = []int{i % 2}
+	}
+	if err := c.SubmitWithLocality(spec, Locality{PreferredNodes: preferred, RemotePenalty: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reports := drain(t, c)
+	r := reports[0]
+	if r.LocalTasks != 8 || r.RemoteTasks != 0 {
+		t.Errorf("local/remote = %d/%d, want 8/0", r.LocalTasks, r.RemoteTasks)
+	}
+	// No remote penalty: response near the 10s wave.
+	if r.Response > 40 {
+		t.Errorf("response = %v, want near 10 with all-local tasks", r.Response)
+	}
+}
+
+func TestLocalityRemotePenaltyApplied(t *testing.T) {
+	cfg := fastConfig() // 2 nodes x 4 containers
+	c, err := New(cfg, sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	// All 8 blocks on node 0 (4 containers): half the tasks must run remote
+	// and pay a 4x duration penalty.
+	spec := uniformJob(1, 8, 10)
+	preferred := make([][]int, 8)
+	for i := range preferred {
+		preferred[i] = []int{0}
+	}
+	if err := c.SubmitWithLocality(spec, Locality{PreferredNodes: preferred, RemotePenalty: 4}); err != nil {
+		t.Fatal(err)
+	}
+	reports := drain(t, c)
+	r := reports[0]
+	if r.RemoteTasks == 0 {
+		t.Fatal("expected some remote tasks with all blocks on one half-sized node")
+	}
+	// Remote tasks run 40 spec-seconds: response must reflect it.
+	if r.Response < 40 {
+		t.Errorf("response = %v, want >= 40 (remote penalty on the critical path)", r.Response)
+	}
+	// Consumed service exceeds the all-local nominal 80.
+	if r.Service <= 80 {
+		t.Errorf("service = %v, want > 80 with penalized tasks", r.Service)
+	}
+}
+
+func TestLocalityFromDFS(t *testing.T) {
+	store, err := dfs.New(dfs.Config{Nodes: 2, BlockSize: 100, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.AddFile("input", 350); err != nil { // 4 blocks
+		t.Fatal(err)
+	}
+	loc, err := LocalityFromDFS(store, "input", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loc.PreferredNodes) != 4 {
+		t.Fatalf("got %d block locations, want 4", len(loc.PreferredNodes))
+	}
+	if loc.RemotePenalty != 3 {
+		t.Errorf("penalty = %v", loc.RemotePenalty)
+	}
+	if _, err := LocalityFromDFS(store, "missing", 3); err == nil {
+		t.Error("expected error for unknown file")
+	}
+
+	// End to end: the number of map tasks comes from the store's splits, as
+	// in the paper's implementation.
+	cfg := fastConfig()
+	c, err := New(cfg, sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+	spec := uniformJob(1, store.Splits("input"), 10)
+	if err := c.SubmitWithLocality(spec, loc); err != nil {
+		t.Fatal(err)
+	}
+	reports := drain(t, c)
+	if got := reports[0].LocalTasks + reports[0].RemoteTasks; got != 4 {
+		t.Errorf("placed tasks = %d, want 4", got)
+	}
+}
+
+func TestLocalityWithDAGStagesOnlyFirstStage(t *testing.T) {
+	// Locality applies to stage 0 only; reduce tasks place freely.
+	cfg := fastConfig()
+	c, err := New(cfg, sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	spec := mapReduceJob(1, 4, 10, 2, 5)
+	preferred := [][]int{{0}, {0}, {1}, {1}}
+	if err := c.SubmitWithLocality(spec, Locality{PreferredNodes: preferred, RemotePenalty: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reports := drain(t, c)
+	r := reports[0]
+	if r.LocalTasks+r.RemoteTasks != 4 {
+		t.Errorf("locality counted %d tasks, want the 4 maps only", r.LocalTasks+r.RemoteTasks)
+	}
+}
