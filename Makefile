@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reproduce examples clean
+.PHONY: all build vet test test-race race bench reproduce replicate examples clean
 
 all: build vet test
 
@@ -15,8 +15,13 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+# Race-detector CI gate: the mini-YARN cluster (internal/yarn) and the
+# replication engine's worker pool (internal/runner) are the concurrency
+# hot spots — run this before merging anything that touches either.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 # One bench iteration per figure/table; see EXPERIMENTS.md for paper-scale runs.
 bench:
@@ -25,6 +30,10 @@ bench:
 # Regenerate every table and figure at paper scale (writes full_results.txt).
 reproduce:
 	$(GO) run ./cmd/lasmq-bench -repeats 3 -seed 1 | tee full_results.txt
+
+# Parallel multi-seed reproduction with 95% CIs; resumable via the cache dir.
+replicate:
+	$(GO) run ./cmd/lasmq-bench -seeds 8 -workers 8 -cache .lasmq-cache
 
 examples:
 	$(GO) run ./examples/quickstart

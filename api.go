@@ -11,6 +11,7 @@ import (
 	"lasmq/internal/geo"
 	"lasmq/internal/job"
 	"lasmq/internal/mapreduce"
+	"lasmq/internal/runner"
 	"lasmq/internal/sched"
 	"lasmq/internal/trace"
 	"lasmq/internal/workload"
@@ -308,6 +309,54 @@ type (
 	// ExperimentOptions tune experiment scale and seeding.
 	ExperimentOptions = experiments.Options
 )
+
+// Replicated experiment runs (the parallel multi-seed replication engine).
+type (
+	// ReplicationOptions tune a replicated run: seed count, base seed,
+	// worker-pool size, and the content-addressed result cache directory.
+	ReplicationOptions = runner.Options
+	// ReplicationReport is a full replicated run: per-experiment aggregates
+	// plus cache hit/miss counters.
+	ReplicationReport = runner.Report
+	// ReplicationAggregate is one experiment merged across seeds.
+	ReplicationAggregate = runner.Aggregate
+	// ReplicationCell is one metric cell's cross-seed statistics
+	// (mean ± 95 % CI, per-seed spread).
+	ReplicationCell = runner.AggregateCell
+	// RegisteredExperiment is one entry of the replication table: a pure
+	// func(seed) producing a metric-cell sample.
+	RegisteredExperiment = runner.Experiment
+	// ExperimentSample is one experiment's result at one seed.
+	ExperimentSample = runner.Sample
+	// MetricCell is one scalar metric of a sample.
+	MetricCell = runner.Cell
+)
+
+// ExperimentRegistry returns every paper experiment as a replication-table
+// entry at the given scale.
+func ExperimentRegistry(opts ExperimentOptions) []RegisteredExperiment {
+	return experiments.Registry(opts)
+}
+
+// ExperimentNames lists the registered experiment names in reporting order.
+func ExperimentNames() []string { return experiments.RegistryNames() }
+
+// RunReplicated fans the named experiments (all when names is empty) out
+// over ropts.Seeds seeds on a bounded worker pool, reusing cached cells when
+// ropts.CacheDir is set, and returns deterministic mean ± 95 % CI aggregates.
+func RunReplicated(opts ExperimentOptions, ropts ReplicationOptions, names ...string) (*ReplicationReport, error) {
+	exps, err := experiments.SelectRegistry(opts, names...)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(exps, ropts)
+}
+
+// RunExperiments is the generic entry point for caller-supplied experiment
+// tables (anything expressible as a pure func(seed) sample).
+func RunExperiments(exps []RegisteredExperiment, ropts ReplicationOptions) (*ReplicationReport, error) {
+	return runner.Run(exps, ropts)
+}
 
 // Experiment runners re-exported from the harness.
 var (

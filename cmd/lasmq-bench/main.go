@@ -9,6 +9,13 @@
 //	             table1|sjf-error|weights|adaptive|tradeoff|geo]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
 //	            [-csv-dir DIR]
+//	            [-seeds N] [-workers M] [-cache DIR]
+//
+// With -seeds > 1 (or -workers/-cache set) the replication engine takes
+// over: every experiment is fanned out over N seeds on an M-worker pool,
+// finished (experiment, seed) cells are served from the content-addressed
+// cache in -cache DIR, and each figure is reported as mean ± 95 % CI across
+// the seeds. A re-run with the same cache directory completes from cache.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"lasmq/internal/experiments"
+	"lasmq/internal/runner"
 )
 
 func main() {
@@ -37,6 +45,9 @@ func run() error {
 		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
 		uniformJobs = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
 		csvDirFlag  = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
+		seeds       = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
+		workers     = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
+		cacheDir    = flag.String("cache", "", "content-addressed result cache directory; re-runs serve completed (experiment, seed) cells from it")
 	)
 	flag.Parse()
 	csvDir = *csvDirFlag
@@ -51,6 +62,15 @@ func run() error {
 		Repeats:     *repeats,
 		TraceJobs:   *traceJobs,
 		UniformJobs: *uniformJobs,
+	}
+
+	if *seeds > 1 || *workers > 0 || *cacheDir != "" {
+		return runReplicated(opts, runner.Options{
+			Seeds:    *seeds,
+			BaseSeed: *seed,
+			Workers:  *workers,
+			CacheDir: *cacheDir,
+		}, *experiment)
 	}
 
 	runners := map[string]func(experiments.Options) error{
@@ -86,6 +106,39 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runReplicated drives the replication engine: the selected experiments fan
+// out over the seed range on the worker pool, cached cells are reused, and
+// every figure prints as a mean ± 95 % CI table.
+func runReplicated(opts experiments.Options, ropts runner.Options, experiment string) error {
+	var names []string
+	if experiment != "all" {
+		names = []string{experiment}
+	}
+	exps, err := experiments.SelectRegistry(opts, names...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	report, err := runner.Run(exps, ropts)
+	if err != nil {
+		return err
+	}
+	ropts = ropts.Defaults()
+	fmt.Printf("== Replicated run: %d experiment(s) x %d seed(s) (base seed %d, %d workers) ==\n\n",
+		len(exps), ropts.Seeds, ropts.BaseSeed, ropts.Workers)
+	for i := range report.Aggregates {
+		a := &report.Aggregates[i]
+		fmt.Printf("-- %s (mean ± 95%% CI over %d seed(s)) --\n", a.Experiment, len(a.Seeds))
+		fmt.Print(a.Table())
+		fmt.Println()
+	}
+	if ropts.CacheDir != "" {
+		fmt.Printf("cache: %d hit(s), %d miss(es) in %s\n", report.CacheHits, report.CacheMisses, ropts.CacheDir)
+	}
+	fmt.Printf("[replicated run finished in %v]\n", time.Since(start).Round(time.Millisecond))
+	return writeCSV("replicated", report.WriteCSV)
 }
 
 // csvDir, when non-empty, receives one CSV file per experiment.

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"lasmq/internal/runner"
+	"lasmq/internal/stats"
+)
+
+// Registry returns the replication table: every experiment as a pure
+// func(seed) that re-derives its workload from that seed and reports its
+// figures as metric cells for the runner engine's cross-seed aggregation.
+// The Options' scale knobs (TraceJobs, UniformJobs) apply to every entry and
+// are folded into the cache fingerprint; Options.Seed and Options.Repeats
+// are ignored — the runner owns seeding, and each replication is one repeat.
+func Registry(opts Options) []runner.Experiment {
+	opts = opts.Defaults()
+	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d", opts.TraceJobs, opts.UniformJobs)
+	perSeed := func(seed int64) Options {
+		o := opts
+		o.Seed = seed
+		o.Repeats = 1
+		return o
+	}
+	exp := func(name string, run func(seed int64) ([]runner.Cell, error)) runner.Experiment {
+		return runner.Experiment{
+			Name:        name,
+			Fingerprint: fp,
+			Run: func(seed int64) (*runner.Sample, error) {
+				cells, err := run(seed)
+				if err != nil {
+					return nil, err
+				}
+				return &runner.Sample{Experiment: name, Seed: seed, Cells: cells}, nil
+			},
+		}
+	}
+	return []runner.Experiment{
+		exp("fig1", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig1()
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, job := range []string{"A", "B", "C"} {
+				cells = append(cells,
+					runner.Cell{Group: job, Key: "las", Value: res.LAS[job]},
+					runner.Cell{Group: job, Key: "lasmq", Value: res.LASMQ[job]})
+			}
+			return cells, nil
+		}),
+		exp("fig3", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig3(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for i, c := range res.Cases {
+				cells = append(cells, runner.Cell{
+					Group: fmt.Sprintf("case%d", i+1), Key: "norm", Value: c,
+				})
+			}
+			return cells, nil
+		}),
+		exp("fig5", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig5(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return clusterCells(res), nil
+		}),
+		exp("fig6", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig6(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return clusterCells(res), nil
+		}),
+		exp("fig7a", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig7HeavyTailed(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
+		exp("fig7b", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig7Uniform(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
+		exp("fig8a", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig8Queues(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, k := range sortedKeysI(res.Normalized) {
+				cells = append(cells, runner.Cell{
+					Group: fmt.Sprintf("k=%d", k), Key: "norm", Value: res.Normalized[k],
+				})
+			}
+			return cells, nil
+		}),
+		exp("fig8b", func(seed int64) ([]runner.Cell, error) {
+			res, err := Fig8Thresholds(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, alpha := range sortedKeysF(res.Normalized) {
+				cells = append(cells, runner.Cell{
+					Group: fmt.Sprintf("alpha0=%g", alpha), Key: "norm", Value: res.Normalized[alpha],
+				})
+			}
+			return cells, nil
+		}),
+		exp("sjf-error", func(seed int64) ([]runner.Cell, error) {
+			res, err := MotivationSJFError(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			cells := []runner.Cell{
+				{Group: "SJF-oracle", Key: "mean", Value: res.Oracle},
+				{Group: "LAS_MQ", Key: "mean", Value: res.LASMQ},
+			}
+			for _, f := range sortedKeysF(res.SJF) {
+				cells = append(cells, runner.Cell{
+					Group: fmt.Sprintf("SJF-x%g", f), Key: "mean", Value: res.SJF[f],
+				})
+			}
+			return cells, nil
+		}),
+		exp("weights", func(seed int64) ([]runner.Cell, error) {
+			res, err := AblationWeights(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, decay := range sortedKeysF(res) {
+				cells = append(cells, runner.Cell{
+					Group: fmt.Sprintf("decay=%g", decay), Key: "norm", Value: res[decay],
+				})
+			}
+			return cells, nil
+		}),
+		exp("adaptive", func(seed int64) ([]runner.Cell, error) {
+			res, err := Adaptive(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return []runner.Cell{
+				{Group: "tuned", Key: "mean", Value: res.Tuned},
+				{Group: "mistuned", Key: "mean", Value: res.Mistuned},
+				{Group: "adaptive", Key: "mean", Value: res.Adaptive},
+				{Group: "adaptive", Key: "refits", Value: float64(res.Refits)},
+			}, nil
+		}),
+		exp("tradeoff", func(seed int64) ([]runner.Cell, error) {
+			points, err := Tradeoff(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, p := range points {
+				g := fmt.Sprintf("theta=%g", p.Theta)
+				cells = append(cells,
+					runner.Cell{Group: g, Key: "mean", Value: p.MeanResponse},
+					runner.Cell{Group: g, Key: "p99", Value: p.P99Response},
+					runner.Cell{Group: g, Key: "jain", Value: p.JainIndex})
+			}
+			return cells, nil
+		}),
+		exp("geo", func(seed int64) ([]runner.Cell, error) {
+			res, err := Geo(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			labels := make([]string, 0, len(res.Mean))
+			for label := range res.Mean {
+				labels = append(labels, label)
+			}
+			sort.Strings(labels)
+			var cells []runner.Cell
+			for _, label := range labels {
+				cells = append(cells, runner.Cell{Group: label, Key: "mean", Value: res.Mean[label]})
+			}
+			return cells, nil
+		}),
+	}
+}
+
+// clusterCells flattens a ClusterResult (Fig. 5/6) into metric cells:
+// per-bin and overall means, the normalized ratio, and the slowdown tail.
+func clusterCells(res *ClusterResult) []runner.Cell {
+	var cells []runner.Cell
+	for _, name := range PolicyOrder {
+		ps := res.ByPolicy[name]
+		for bin := 1; bin <= 4; bin++ {
+			cells = append(cells, runner.Cell{
+				Group: name, Key: fmt.Sprintf("bin%d", bin), Value: ps.BinMeans[bin],
+			})
+		}
+		s := stats.Summarize(ps.Slowdowns)
+		cells = append(cells,
+			runner.Cell{Group: name, Key: "all", Value: ps.MeanResponse},
+			runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]},
+			runner.Cell{Group: name, Key: "slowdown_mean", Value: s.Mean},
+			runner.Cell{Group: name, Key: "slowdown_p99", Value: s.P99},
+			runner.Cell{Group: name, Key: "jain", Value: stats.JainIndex(ps.Slowdowns)})
+	}
+	return cells
+}
+
+// traceCells flattens a TraceResult (Fig. 7) into metric cells.
+func traceCells(res *TraceResult) []runner.Cell {
+	var cells []runner.Cell
+	for _, name := range PolicyOrder {
+		cells = append(cells,
+			runner.Cell{Group: name, Key: "mean", Value: res.Mean[name]},
+			runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]})
+	}
+	return cells
+}
+
+// RegistryNames returns the registered experiment names in reporting order.
+func RegistryNames() []string {
+	return []string{
+		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
+		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
+	}
+}
+
+// SelectRegistry filters the registry down to the named experiments,
+// preserving registration order; an empty names list selects everything.
+func SelectRegistry(opts Options, names ...string) ([]runner.Experiment, error) {
+	all := Registry(opts)
+	if len(names) == 0 {
+		return all, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []runner.Experiment
+	for _, e := range all {
+		if want[e.Name] {
+			out = append(out, e)
+			delete(want, e.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", n)
+	}
+	return out, nil
+}

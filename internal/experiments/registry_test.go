@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lasmq/internal/runner"
+)
+
+func TestRegistryNamesMatchTable(t *testing.T) {
+	exps := Registry(Options{})
+	names := RegistryNames()
+	if len(exps) != len(names) {
+		t.Fatalf("registry has %d entries, names list %d", len(exps), len(names))
+	}
+	for i, e := range exps {
+		if e.Name != names[i] {
+			t.Errorf("entry %d is %q, names list says %q", i, e.Name, names[i])
+		}
+		if e.Run == nil {
+			t.Errorf("entry %q has nil Run", e.Name)
+		}
+		if e.Fingerprint == "" {
+			t.Errorf("entry %q has empty fingerprint", e.Name)
+		}
+	}
+}
+
+func TestSelectRegistry(t *testing.T) {
+	sel, err := SelectRegistry(Options{}, "fig5", "fig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "fig5" || sel[1].Name != "fig8a" {
+		t.Errorf("selection = %v", sel)
+	}
+	if _, err := SelectRegistry(Options{}, "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	all, err := SelectRegistry(Options{})
+	if err != nil || len(all) != len(RegistryNames()) {
+		t.Errorf("empty selection: %d entries, err %v", len(all), err)
+	}
+}
+
+// TestRegistryFingerprintTracksScale: cache keys must change when the scale
+// knobs do, or cells from different scales would collide.
+func TestRegistryFingerprintTracksScale(t *testing.T) {
+	a := Registry(Options{TraceJobs: 1000})[0].Fingerprint
+	b := Registry(Options{TraceJobs: 2000})[0].Fingerprint
+	if a == b {
+		t.Errorf("fingerprint %q ignores trace length", a)
+	}
+}
+
+// TestReplicatedDeterminismRealExperiments is the determinism regression on
+// the real merge path: the same seeds through real (fluid-simulator-backed)
+// experiments must produce byte-identical merged reports with -workers 1 and
+// -workers 8. This catches map-iteration order leaking into cells as well as
+// scheduling nondeterminism in the pool.
+func TestReplicatedDeterminismRealExperiments(t *testing.T) {
+	opts := Options{TraceJobs: 600, UniformJobs: 120}
+	var blobs [][]byte
+	for _, workers := range []int{1, 8} {
+		exps, err := SelectRegistry(opts, "fig1", "fig7a", "fig8b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := runner.Run(exps, runner.Options{Seeds: 3, BaseSeed: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("replicated results differ between -workers 1 and -workers 8")
+	}
+}
+
+// TestReplicatedClusterCells spot-checks the Fig. 5 cell flattening: every
+// policy must expose bins, overall mean, normalized ratio and slowdown
+// cells, and FAIR's normalized cell is 1 by construction.
+func TestReplicatedClusterCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment in -short mode")
+	}
+	exps, err := SelectRegistry(Options{}, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := runner.Run(exps, runner.Options{Seeds: 1, BaseSeed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := report.Aggregate("fig5")
+	if a == nil {
+		t.Fatal("fig5 aggregate missing")
+	}
+	for _, name := range PolicyOrder {
+		for _, key := range []string{"bin1", "bin2", "bin3", "bin4", "all", "norm", "slowdown_mean", "slowdown_p99", "jain"} {
+			if a.Cell(name, key) == nil {
+				t.Errorf("cell (%s, %s) missing", name, key)
+			}
+		}
+	}
+	fair := a.Cell(PolicyFair, "norm")
+	if fair == nil || fair.Stats.Mean != 1 {
+		t.Errorf("FAIR normalized = %+v, want exactly 1", fair)
+	}
+	mq := a.Cell(PolicyLASMQ, "norm")
+	if mq == nil || mq.Stats.Mean <= 1 {
+		t.Errorf("LAS_MQ normalized = %+v, want > 1 (beats Fair)", mq)
+	}
+}

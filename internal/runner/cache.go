@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheVersion is baked into every cache key; bump it whenever the Sample
+// schema or an experiment's semantics change incompatibly, so stale cells
+// are recomputed instead of silently reused.
+const cacheVersion = "1"
+
+// cacheKey derives the content address of one (experiment, fingerprint,
+// seed) cell.
+func cacheKey(name, fingerprint string, seed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "lasmq-runner/v%s\x00%s\x00%s\x00%d", cacheVersion, name, fingerprint, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskCache stores one JSON-encoded Sample per cell under its content
+// address. Writes are atomic (temp file + rename) so a crashed run never
+// leaves a torn cell behind, and concurrent workers writing the same cell
+// (impossible within one run, possible across processes) settle on a
+// complete file either way.
+type diskCache struct {
+	dir string
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the cached sample for key if present and well-formed. A
+// corrupt or mismatched cell is treated as a miss (it will be recomputed and
+// overwritten), never as an error: the cache is an accelerator, not a source
+// of truth.
+func (c *diskCache) load(key, wantExperiment string, wantSeed int64) (*Sample, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var s Sample
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, false
+	}
+	if s.Experiment != wantExperiment || s.Seed != wantSeed || len(s.Cells) == 0 {
+		return nil, false
+	}
+	return &s, true
+}
+
+func (c *diskCache) store(key string, s *Sample) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("runner: encode cache cell: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: write cache cell: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: close cache cell: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: commit cache cell: %w", err)
+	}
+	return nil
+}

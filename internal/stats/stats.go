@@ -183,6 +183,79 @@ func JainIndex(values []float64) float64 {
 	return sum * sum / (float64(len(values)) * sumSq)
 }
 
+// Replication summarizes one metric observed across independent seeded
+// replications of an experiment: the mean with a 95 % confidence interval
+// (Student's t, the small-sample regime multi-seed runs live in) plus the
+// per-seed spread.
+type Replication struct {
+	// N is the number of replications.
+	N int
+	// Mean is the cross-replication mean.
+	Mean float64
+	// StdDev is the sample standard deviation (n-1 denominator).
+	StdDev float64
+	// CI95 is the half-width of the 95 % t-interval around Mean; 0 when
+	// N < 2 (a single replication carries no spread information).
+	CI95 float64
+	// Min and Max bound the per-seed spread.
+	Min float64
+	Max float64
+}
+
+// Replicate aggregates one metric's per-seed values. It returns a zero
+// Replication for an empty input.
+func Replicate(values []float64) Replication {
+	if len(values) == 0 {
+		return Replication{}
+	}
+	r := Replication{N: len(values), Min: values[0], Max: values[0]}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+	}
+	r.Mean = sum / float64(r.N)
+	if r.N < 2 {
+		return r
+	}
+	var sumSq float64
+	for _, v := range values {
+		d := v - r.Mean
+		sumSq += d * d
+	}
+	r.StdDev = math.Sqrt(sumSq / float64(r.N-1))
+	r.CI95 = TCritical95(r.N-1) * r.StdDev / math.Sqrt(float64(r.N))
+	return r
+}
+
+// t95 tabulates the two-sided 95 % Student's t critical values for small
+// degrees of freedom (index = df, entry 0 unused).
+var t95 = [...]float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// TCritical95 returns the two-sided 95 % Student's t critical value for the
+// given degrees of freedom, falling back to the asymptotic normal value
+// (1.96) beyond the tabulated range. df < 1 returns +Inf: no interval can be
+// formed from a single observation.
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df < len(t95) {
+		return t95[df]
+	}
+	return 1.96
+}
+
 // Normalized returns the paper's "normalized average job response time":
 // the Fair scheduler's result divided by the algorithm's result. Values above
 // 1 mean the algorithm beats Fair. It returns +Inf when algorithm is 0 and

@@ -238,3 +238,63 @@ func TestPercentileMatchesSortedIndexForExactRanks(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReplicateEmptyAndSingle(t *testing.T) {
+	if r := Replicate(nil); r.N != 0 || r.Mean != 0 || r.CI95 != 0 {
+		t.Errorf("empty replication = %+v", r)
+	}
+	r := Replicate([]float64{42})
+	if r.N != 1 || r.Mean != 42 || r.Min != 42 || r.Max != 42 {
+		t.Errorf("single replication = %+v", r)
+	}
+	if r.CI95 != 0 || r.StdDev != 0 {
+		t.Errorf("single replication carries spread: %+v", r)
+	}
+}
+
+func TestReplicateTInterval(t *testing.T) {
+	// {1,2,3}: mean 2, sample stddev 1, CI95 = t(2) * 1/sqrt(3) = 2.484...
+	r := Replicate([]float64{1, 2, 3})
+	if r.N != 3 || math.Abs(r.Mean-2) > 1e-12 {
+		t.Fatalf("replication = %+v", r)
+	}
+	if math.Abs(r.StdDev-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", r.StdDev)
+	}
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(r.CI95-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", r.CI95, want)
+	}
+	if r.Min != 1 || r.Max != 3 {
+		t.Errorf("spread = [%v,%v], want [1,3]", r.Min, r.Max)
+	}
+	// Identical values: zero-width interval.
+	r = Replicate([]float64{5, 5, 5, 5})
+	if r.CI95 != 0 || r.StdDev != 0 {
+		t.Errorf("constant replication has spread: %+v", r)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("df=0 should have no finite critical value")
+	}
+	if got := TCritical95(1); math.Abs(got-12.706) > 1e-9 {
+		t.Errorf("t(1) = %v", got)
+	}
+	if got := TCritical95(7); math.Abs(got-2.365) > 1e-9 {
+		t.Errorf("t(7) = %v", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("t(1000) = %v, want asymptotic 1.96", got)
+	}
+	// Monotone non-increasing in df.
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		cur := TCritical95(df)
+		if cur > prev {
+			t.Fatalf("t critical not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}

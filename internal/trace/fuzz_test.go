@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -15,11 +16,41 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("id,arrival,size,width,priority\n1,0,abc,2,1\n")
 	f.Add("garbage")
 	f.Add("id,arrival,size,width,priority\n1,0,10,2,1\n2,5,3.5,1,4\n")
+	// Hostile numerics: overflow-to-Inf sizes, NaN, negative and zero sizes,
+	// negative arrivals — all must be rejected, never simulated.
+	f.Add("id,arrival,size,width,priority\n1,0,1e999,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,0,NaN,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,0,-5,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,0,0,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,-3,10,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,Inf,10,2,1\n")
+	f.Add("id,arrival,size,width,priority\n1,0,10,0,1\n")
+	f.Add("id,arrival,size,width,priority\n1,0,10,2,0\n")
+	f.Add("id,arrival,size,width,priority\n1,0,10,2,1,extra\n")
+	f.Add("id,arrival,size,width,priority\n1,0,10\n")
+	f.Add("\x00\xff\xfe")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		specs, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
 			return // rejected input is fine; panics are not
+		}
+		// Anything accepted must be simulatable: finite positive sizes and
+		// widths, sane arrivals and priorities.
+		for i := range specs {
+			s := &specs[i]
+			if !(s.Size > 0) || math.IsInf(s.Size, 0) {
+				t.Fatalf("accepted unsimulatable size %v", s.Size)
+			}
+			if !(s.Width > 0) || math.IsInf(s.Width, 0) {
+				t.Fatalf("accepted unsimulatable width %v", s.Width)
+			}
+			if !(s.Arrival >= 0) || math.IsInf(s.Arrival, 0) {
+				t.Fatalf("accepted unsimulatable arrival %v", s.Arrival)
+			}
+			if s.Priority < 1 {
+				t.Fatalf("accepted priority %d", s.Priority)
+			}
 		}
 		var buf bytes.Buffer
 		if err := WriteCSV(&buf, specs); err != nil {

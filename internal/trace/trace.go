@@ -258,9 +258,34 @@ func ReadCSV(r io.Reader) ([]fluid.JobSpec, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad priority %q", line+2, rec[4])
 		}
-		specs = append(specs, fluid.JobSpec{
+		spec := fluid.JobSpec{
 			ID: id, Arrival: arrival, Size: size, Width: width, Priority: priority,
-		})
+		}
+		if err := validateSpec(&spec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line+2, err)
+		}
+		specs = append(specs, spec)
 	}
 	return specs, nil
+}
+
+// validateSpec rejects trace rows no simulator run could make sense of:
+// non-finite or negative arrivals, non-positive or non-finite sizes and
+// widths (strconv accepts "NaN", "Inf" and overflow-huge exponents that
+// round to +Inf — all of which would poison a simulation silently rather
+// than fail it).
+func validateSpec(s *fluid.JobSpec) error {
+	if math.IsNaN(s.Arrival) || math.IsInf(s.Arrival, 0) || s.Arrival < 0 {
+		return fmt.Errorf("arrival %v out of range", s.Arrival)
+	}
+	if math.IsNaN(s.Size) || math.IsInf(s.Size, 0) || s.Size <= 0 {
+		return fmt.Errorf("size %v out of range", s.Size)
+	}
+	if math.IsNaN(s.Width) || math.IsInf(s.Width, 0) || s.Width <= 0 {
+		return fmt.Errorf("width %v out of range", s.Width)
+	}
+	if s.Priority < 1 {
+		return fmt.Errorf("priority %d out of range", s.Priority)
+	}
+	return nil
 }

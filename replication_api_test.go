@@ -1,0 +1,79 @@
+package lasmq_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lasmq"
+)
+
+func TestRunReplicatedFacade(t *testing.T) {
+	dir := t.TempDir()
+	ropts := lasmq.ReplicationOptions{Seeds: 2, BaseSeed: 1, Workers: 2, CacheDir: dir}
+	report, err := lasmq.RunReplicated(lasmq.ExperimentOptions{}, ropts, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := report.Aggregate("fig1")
+	if agg == nil {
+		t.Fatal("fig1 aggregate missing")
+	}
+	// Fig. 1 is deterministic: job A must report 9 (LAS) and 6 (2-queue)
+	// with a zero-width interval at every seed.
+	a := agg.Cell("A", "las")
+	if a == nil || math.Abs(a.Stats.Mean-9) > 1e-2 || a.Stats.CI95 != 0 {
+		t.Errorf("cell (A, las) = %+v, want mean 9 with zero-width CI", a)
+	}
+	if c := agg.Cell("A", "lasmq"); c == nil || math.Abs(c.Stats.Mean-6) > 1e-2 {
+		t.Errorf("cell (A, lasmq) = %+v, want mean ~6", c)
+	}
+	if report.CacheMisses != 2 || report.CacheHits != 0 {
+		t.Errorf("first run: %d hits / %d misses, want 0/2", report.CacheHits, report.CacheMisses)
+	}
+
+	again, err := lasmq.RunReplicated(lasmq.ExperimentOptions{}, ropts, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != 2 || again.CacheMisses != 0 {
+		t.Errorf("cached run: %d hits / %d misses, want 2/0", again.CacheHits, again.CacheMisses)
+	}
+
+	var csv bytes.Buffer
+	if err := report.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "experiment,group,key,n,mean") {
+		t.Errorf("CSV header missing:\n%s", csv.String())
+	}
+
+	names := lasmq.ExperimentNames()
+	if len(names) == 0 || names[0] != "fig1" {
+		t.Errorf("experiment names = %v", names)
+	}
+	if _, err := lasmq.RunReplicated(lasmq.ExperimentOptions{}, ropts, "not-a-figure"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentsCustomTable(t *testing.T) {
+	exps := []lasmq.RegisteredExperiment{{
+		Name: "custom",
+		Run: func(seed int64) (*lasmq.ExperimentSample, error) {
+			return &lasmq.ExperimentSample{
+				Experiment: "custom",
+				Cells:      []lasmq.MetricCell{{Group: "g", Key: "k", Value: float64(seed)}},
+			}, nil
+		},
+	}}
+	report, err := lasmq.RunExperiments(exps, lasmq.ReplicationOptions{Seeds: 3, BaseSeed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := report.Aggregate("custom").Cell("g", "k")
+	if c == nil || c.Stats.Mean != 6 || c.Stats.Min != 5 || c.Stats.Max != 7 {
+		t.Errorf("custom cell = %+v, want mean 6 over seeds 5..7", c)
+	}
+}
