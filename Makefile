@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench reproduce replicate examples clean
+.PHONY: all build vet test test-race race bench bench-baseline bench-compare reproduce replicate examples clean
 
 all: build vet test
 
@@ -12,7 +12,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# `go vet` gates the default test flow so vet regressions fail fast.
+test: vet
 	$(GO) test ./...
 
 # Race-detector CI gate: the mini-YARN cluster (internal/yarn) and the
@@ -26,6 +27,26 @@ race: test-race
 # One bench iteration per figure/table; see EXPERIMENTS.md for paper-scale runs.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Engine performance record (BENCH_engine.json): the heavy end-to-end benches
+# run a few fixed iterations, the scheduling-round/Assign micro benches many,
+# and lasmq-benchdiff folds both into the committed JSON. Run bench-baseline
+# once before an optimization, bench-compare after; the speedup section then
+# holds baseline/current ratios (> 1 is an improvement).
+HEAVY_BENCH = ^(BenchmarkFig7Heavy|BenchmarkClusterEngine|BenchmarkFluidEngine)$$
+MICRO_BENCH = ^(BenchmarkLASMQAssign|BenchmarkFairAssign|BenchmarkLASAssign)$$
+
+bench_engine.out:
+	$(GO) test -run '^$$' -bench '$(HEAVY_BENCH)' -benchmem -benchtime=3x . > bench_engine.out
+	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=300x . >> bench_engine.out
+	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRound$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
+
+.PHONY: bench_engine.out
+bench-baseline: bench_engine.out
+	$(GO) run ./cmd/lasmq-benchdiff -mode baseline -out BENCH_engine.json < bench_engine.out
+
+bench-compare: bench_engine.out
+	$(GO) run ./cmd/lasmq-benchdiff -mode compare -out BENCH_engine.json < bench_engine.out
 
 # Regenerate every table and figure at paper scale (writes full_results.txt).
 reproduce:
@@ -45,4 +66,4 @@ examples:
 	$(GO) run ./examples/geo
 
 clean:
-	rm -f full_results.txt test_output.txt bench_output.txt
+	rm -f full_results.txt test_output.txt bench_output.txt bench_engine.out

@@ -10,6 +10,11 @@
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
 //	            [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
+//	            [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile capture pprof profiles of the selected
+// experiments (`go tool pprof` reads them), the same hooks `go test -bench`
+// offers — use them to find where a slow figure actually spends its time.
 //
 // With -seeds > 1 (or -workers/-cache set) the replication engine takes
 // over: every experiment is fanned out over N seeds on an M-worker pool,
@@ -24,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lasmq/internal/experiments"
@@ -48,8 +55,35 @@ func run() error {
 		seeds       = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
 		workers     = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
 		cacheDir    = flag.String("cache", "", "content-addressed result cache directory; re-runs serve completed (experiment, seed) cells from it")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lasmq-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lasmq-bench: memprofile:", err)
+			}
+		}()
+	}
 	csvDir = *csvDirFlag
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {

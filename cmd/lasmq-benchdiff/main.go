@@ -1,0 +1,213 @@
+// Command lasmq-benchdiff turns `go test -bench` output into the committed
+// BENCH_engine.json performance record. It backs the `make bench-baseline` /
+// `make bench-compare` flow:
+//
+//	go test -bench ... | lasmq-benchdiff -mode baseline -out BENCH_engine.json
+//	go test -bench ... | lasmq-benchdiff -mode compare  -out BENCH_engine.json
+//
+// Baseline mode records ns/op, B/op and allocs/op per benchmark. Compare mode
+// re-reads the recorded baseline, adds the current numbers plus speedup
+// ratios (baseline/current, so > 1 means faster / fewer allocations), writes
+// the merged file back, and prints a comparison table.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's standard measurements.
+type Metrics struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_op"`
+	BytesPerOp float64 `json:"b_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+}
+
+// File is the schema of BENCH_engine.json.
+type File struct {
+	Note     string             `json:"note"`
+	Baseline map[string]Metrics `json:"baseline,omitempty"`
+	Current  map[string]Metrics `json:"current,omitempty"`
+	// Speedup maps benchmark -> ratio of baseline over current: ns_op > 1
+	// means the current code is faster, allocs_op > 1 means it allocates
+	// less.
+	Speedup map[string]map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasmq-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mode := flag.String("mode", "compare", "baseline (record) or compare (diff against the recorded baseline)")
+	out := flag.String("out", "BENCH_engine.json", "performance record to write")
+	flag.Parse()
+
+	parsed, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin (run with `go test -bench ... | lasmq-benchdiff`)")
+	}
+
+	switch *mode {
+	case "baseline":
+		f := &File{
+			Note:     "Engine performance record: `make bench-baseline` writes the baseline section, `make bench-compare` adds current numbers and baseline/current speedup ratios (> 1 is an improvement).",
+			Baseline: parsed,
+		}
+		if err := writeFile(*out, f); err != nil {
+			return err
+		}
+		fmt.Printf("recorded baseline for %d benchmark(s) in %s\n", len(parsed), *out)
+		return nil
+	case "compare":
+		f, err := readFile(*out)
+		if err != nil {
+			return fmt.Errorf("reading baseline (run `make bench-baseline` first): %w", err)
+		}
+		if len(f.Baseline) == 0 {
+			return fmt.Errorf("%s has no baseline section (run `make bench-baseline` first)", *out)
+		}
+		f.Current = parsed
+		f.Speedup = speedups(f.Baseline, parsed)
+		if err := writeFile(*out, f); err != nil {
+			return err
+		}
+		printTable(os.Stdout, f)
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (want baseline or compare)", *mode)
+	}
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// A result line looks like:
+//
+//	BenchmarkFig7Heavy-8  3  189104999 ns/op  141269792 B/op  886112 allocs/op
+//
+// The Benchmark prefix and -GOMAXPROCS suffix are stripped from the name;
+// sub-benchmarks keep their /sub path. Custom b.ReportMetric units are
+// ignored — only ns/op, B/op and allocs/op are recorded.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	res := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // e.g. "Benchmark... skipped" or a status line
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := Metrics{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if m.NsPerOp > 0 {
+			res[name] = m
+		}
+	}
+	return res, sc.Err()
+}
+
+// speedups computes baseline/current ratios for benchmarks present in both
+// sections.
+func speedups(baseline, current map[string]Metrics) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for name, b := range baseline {
+		c, ok := current[name]
+		if !ok {
+			continue
+		}
+		ratios := make(map[string]float64)
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			ratios["ns_op"] = round3(b.NsPerOp / c.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			ratios["allocs_op"] = round3(b.AllocsPerOp / c.AllocsPerOp)
+		}
+		if b.BytesPerOp > 0 && c.BytesPerOp > 0 {
+			ratios["b_op"] = round3(b.BytesPerOp / c.BytesPerOp)
+		}
+		out[name] = ratios
+	}
+	return out
+}
+
+func round3(x float64) float64 {
+	s, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 3, 64), 64)
+	return s
+}
+
+func printTable(w io.Writer, f *File) {
+	names := make([]string, 0, len(f.Speedup))
+	for name := range f.Speedup {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "cur ns/op", "speedup", "base allocs", "cur allocs", "ratio")
+	for _, name := range names {
+		b, c := f.Baseline[name], f.Current[name]
+		s := f.Speedup[name]
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f %7.2fx\n",
+			name, b.NsPerOp, c.NsPerOp, s["ns_op"], b.AllocsPerOp, c.AllocsPerOp, s["allocs_op"])
+	}
+	for name := range f.Current {
+		if _, ok := f.Baseline[name]; !ok {
+			fmt.Fprintf(w, "%-28s (no baseline recorded)\n", name)
+		}
+	}
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func writeFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,84 @@
+package engine
+
+// White-box benchmarks of the scheduling round itself: a saturated sim where
+// schedule() must run the policy, quantize, and scan candidates but cannot
+// launch anything — the steady-path overhead the incremental round work
+// targets. `make bench-baseline` / `make bench-compare` track these through
+// BENCH_engine.json.
+
+import (
+	"testing"
+
+	"lasmq/internal/core"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// benchSpecs builds n single-stage jobs (duration skewed by index) that
+// together demand far more containers than the bench cluster offers.
+func benchSpecs(n int) []job.Spec {
+	specs := make([]job.Spec, n)
+	for i := range specs {
+		tasks := make([]job.TaskSpec, 40)
+		for t := range tasks {
+			tasks[t] = job.TaskSpec{Duration: float64(10 + (i*7+t)%90), Containers: 1}
+		}
+		specs[i] = job.Spec{
+			ID:       i + 1,
+			Priority: i%5 + 1,
+			Arrival:  0,
+			Stages:   []job.StageSpec{{Name: "map", Tasks: tasks}},
+		}
+	}
+	return specs
+}
+
+// newBenchSim admits every job at t=0 and runs one round to saturate the
+// cluster, so subsequent schedule() calls measure pure round overhead.
+func newBenchSim(b *testing.B, policy sched.Scheduler) *sim {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.MaxRunningJobs = 0
+	s := newSim(benchSpecs(200), policy, cfg)
+	t, batch, ok := s.queue.popBatch()
+	if !ok || t != 0 {
+		b.Fatalf("expected an arrival batch at t=0, got t=%v ok=%v", t, ok)
+	}
+	for _, ev := range batch {
+		s.handleArrival(ev.jobID)
+	}
+	s.admit()
+	s.schedule()
+	if s.usedSlots != cfg.Containers {
+		b.Fatalf("bench sim not saturated: %d/%d containers busy", s.usedSlots, cfg.Containers)
+	}
+	return s
+}
+
+func BenchmarkScheduleRound(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(b *testing.B) sched.Scheduler
+	}{
+		{"LASMQ", func(b *testing.B) sched.Scheduler {
+			mq, err := core.New(core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return mq
+		}},
+		{"Fair", func(*testing.B) sched.Scheduler { return sched.NewFair() }},
+		{"LAS", func(*testing.B) sched.Scheduler { return sched.NewLAS() }},
+		{"FIFO", func(*testing.B) sched.Scheduler { return sched.NewFIFO() }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			s := newBenchSim(b, tc.mk(b))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.schedule()
+			}
+		})
+	}
+}
