@@ -18,7 +18,10 @@ test: vet
 
 # Race-detector CI gate: the mini-YARN cluster (internal/yarn) and the
 # replication engine's worker pool (internal/runner) are the concurrency
-# hot spots — run this before merging anything that touches either.
+# hot spots — run this before merging anything that touches either. It also
+# runs the incremental-vs-full differential tests (TestIncrementalMatchesFull
+# and the registry-level counterpart) under the race detector, covering the
+# engine's scratch-buffer reuse.
 test-race:
 	$(GO) test -race ./...
 

@@ -25,9 +25,9 @@ import (
 
 // Metrics holds one benchmark's standard measurements.
 type Metrics struct {
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_op"`
-	BytesPerOp float64 `json:"b_op,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_op,omitempty"`
 }
 

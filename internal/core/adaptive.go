@@ -75,11 +75,17 @@ type Adaptive struct {
 	sinceRefit int
 	refits     int
 	totalSeen  int
+
+	// Scratch reused across rounds.
+	seen     map[int]bool
+	departed []int
 }
 
 var (
-	_ sched.Scheduler = (*Adaptive)(nil)
-	_ sched.Hinter    = (*Adaptive)(nil)
+	_ sched.Scheduler        = (*Adaptive)(nil)
+	_ sched.BufferedAssigner = (*Adaptive)(nil)
+	_ sched.Observer         = (*Adaptive)(nil)
+	_ sched.Hinter           = (*Adaptive)(nil)
 )
 
 // NewAdaptive validates cfg and returns a fresh adaptive scheduler.
@@ -112,6 +118,7 @@ func NewAdaptive(cfg AdaptiveConfig) (*Adaptive, error) {
 		cfg:      cfg,
 		inner:    inner,
 		attained: make(map[int]float64),
+		seen:     make(map[int]bool),
 	}, nil
 }
 
@@ -134,11 +141,31 @@ func (a *Adaptive) Thresholds() []float64 {
 // Assign implements sched.Scheduler: record completions, refit if due, then
 // delegate to the inner LAS_MQ.
 func (a *Adaptive) Assign(now float64, capacity float64, jobs []sched.JobView) sched.Assignment {
+	out := make(sched.Assignment, len(jobs))
+	a.AssignInto(now, capacity, jobs, out)
+	return out
+}
+
+// AssignInto implements sched.BufferedAssigner: record completions, refit if
+// due, then delegate to the inner LAS_MQ.
+func (a *Adaptive) AssignInto(now float64, capacity float64, jobs []sched.JobView, out sched.Assignment) {
 	a.observe(jobs)
 	if a.dueForRefit() {
 		a.refit()
 	}
-	return a.inner.Assign(now, capacity, jobs)
+	a.inner.AssignInto(now, capacity, jobs, out)
+}
+
+// Observe implements sched.Observer: exactly the state mutation AssignInto
+// performs, without computing an allocation. The Adaptive scheduler does NOT
+// implement sched.ObserveHinter: its completion-size history depends on
+// seeing every round's job view, so Observe itself must never be skipped.
+func (a *Adaptive) Observe(now float64, jobs []sched.JobView) {
+	a.observe(jobs)
+	if a.dueForRefit() {
+		a.refit()
+	}
+	a.inner.Observe(now, jobs)
 }
 
 // Horizon implements sched.Hinter by delegation.
@@ -148,16 +175,26 @@ func (a *Adaptive) Horizon(now float64, jobs []sched.JobView, alloc sched.Assign
 
 // observe tracks live jobs' service metrics; a job that disappears from the
 // view completed with (approximately) its last observed metric as size.
+// Departures are appended to the history in ascending job-ID order so the
+// sliding window's contents — and therefore the fitted ladder — do not
+// depend on map iteration order.
 func (a *Adaptive) observe(jobs []sched.JobView) {
-	seen := make(map[int]bool, len(jobs))
+	seen := a.seen
+	clear(seen)
 	for _, j := range jobs {
 		seen[j.ID()] = true
 		a.attained[j.ID()] = j.Attained()
 	}
-	for id, size := range a.attained {
-		if seen[id] {
-			continue
+	departed := a.departed[:0]
+	for id := range a.attained {
+		if !seen[id] {
+			departed = append(departed, id)
 		}
+	}
+	a.departed = departed
+	sort.Ints(departed)
+	for _, id := range departed {
+		size := a.attained[id]
 		delete(a.attained, id)
 		if size <= 0 {
 			continue

@@ -60,6 +60,14 @@ func DefaultConfig() Config {
 	}
 }
 
+// queueEntry is one job inside a queue, with its within-queue ordering keys
+// cached so sorting does not make interface calls.
+type queueEntry struct {
+	demand float64 // RemainingDemand, the primary key under OrderByDemand
+	seq    int
+	job    sched.JobView
+}
+
 // LASMQ is the multilevel-queue scheduler. It is stateful: it remembers which
 // queue each job occupies across scheduling rounds. Use one instance per
 // simulation run; it is not safe for concurrent use.
@@ -72,12 +80,16 @@ type LASMQ struct {
 	// allocation-free on the hot path.
 	seen      map[int]bool
 	remaining map[int]float64
-	perQueue  [][]sched.JobView
+	perQueue  [][]queueEntry
+	weights   []float64
 }
 
 var (
-	_ sched.Scheduler = (*LASMQ)(nil)
-	_ sched.Hinter    = (*LASMQ)(nil)
+	_ sched.Scheduler        = (*LASMQ)(nil)
+	_ sched.BufferedAssigner = (*LASMQ)(nil)
+	_ sched.Observer         = (*LASMQ)(nil)
+	_ sched.ObserveHinter    = (*LASMQ)(nil)
+	_ sched.Hinter           = (*LASMQ)(nil)
 )
 
 // New validates cfg and returns a fresh LAS_MQ scheduler.
@@ -95,7 +107,8 @@ func New(cfg Config) (*LASMQ, error) {
 		queue:     make(map[int]int),
 		seen:      make(map[int]bool),
 		remaining: make(map[int]float64),
-		perQueue:  make([][]sched.JobView, cfg.Queues),
+		perQueue:  make([][]queueEntry, cfg.Queues),
+		weights:   make([]float64, cfg.Queues),
 	}, nil
 }
 
@@ -131,11 +144,76 @@ func (s *LASMQ) metric(j sched.JobView) float64 {
 	return j.Attained()
 }
 
-// Assign implements sched.Scheduler. It first updates queue membership and
-// per-queue order (Algorithm 1), then splits capacity across queues by
-// weighted sharing and serves jobs one by one within each queue, spilling
-// leftover capacity to any job with unmet demand (Algorithm 2).
+// Assign implements sched.Scheduler.
 func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sched.Assignment {
+	out := make(sched.Assignment, len(jobs))
+	s.AssignInto(now, capacity, jobs, out)
+	return out
+}
+
+// Observe implements sched.Observer: it applies exactly the state mutation
+// Assign performs — demote-only queue membership updates and dropping state
+// for departed jobs (Algorithm 1) — without computing an allocation. The
+// task-level engine calls it at instants where no launch is possible, so
+// that skipping the full round cannot change queue trajectories. Demotion is
+// deterministic in the current metric, so observing twice at one instant is
+// the same as observing once.
+func (s *LASMQ) Observe(now float64, jobs []sched.JobView) {
+	seen := s.seen
+	clear(seen)
+	for _, j := range jobs {
+		id := j.ID()
+		seen[id] = true
+		s.queue[id] = s.levels.Demote(s.queue[id], s.metric(j))
+	}
+	for id := range s.queue {
+		if !seen[id] {
+			delete(s.queue, id)
+		}
+	}
+}
+
+// ObserveHorizon implements sched.ObserveHinter: after an Observe every
+// job's metric sits at or below its queue's threshold (demotion is
+// strict-exceed), so given per-job upper bounds on metric growth rate the
+// earliest possible next demotion is the earliest threshold crossing. A job
+// whose bound is missing or infinite makes the horizon collapse to now
+// (no skipping). Departures are not covered: the caller must not skip past
+// a job-set change.
+func (s *LASMQ) ObserveHorizon(now float64, jobs []sched.JobView, rates sched.Assignment) float64 {
+	horizon := math.Inf(1)
+	for _, j := range jobs {
+		q, ok := s.queue[j.ID()]
+		if !ok {
+			return now // not yet observed; cannot bound
+		}
+		threshold := s.levels.Threshold(q)
+		if math.IsInf(threshold, 1) {
+			continue // last queue: never demoted again
+		}
+		rate := rates[j.ID()]
+		if rate <= 0 {
+			continue // metric cannot grow
+		}
+		if math.IsInf(rate, 1) {
+			return now
+		}
+		gap := threshold - s.metric(j)
+		if gap <= 0 {
+			return now // sitting on the threshold; next growth demotes
+		}
+		if t := now + gap/rate; t < horizon {
+			horizon = t
+		}
+	}
+	return horizon
+}
+
+// AssignInto implements sched.BufferedAssigner. It first updates queue
+// membership and per-queue order (Algorithm 1), then splits capacity across
+// queues by weighted sharing and serves jobs one by one within each queue,
+// spilling leftover capacity to any job with unmet demand (Algorithm 2).
+func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, out sched.Assignment) {
 	k := s.levels.Queues()
 
 	// Algorithm 1: update queue membership (demote-only) and drop state for
@@ -151,7 +229,7 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 		seen[id] = true
 		q := s.levels.Demote(s.queue[id], s.metric(j))
 		s.queue[id] = q
-		perQueue[q] = append(perQueue[q], j)
+		perQueue[q] = append(perQueue[q], queueEntry{demand: j.RemainingDemand(), seq: j.Seq(), job: j})
 	}
 	for id := range s.queue {
 		if !seen[id] {
@@ -159,30 +237,38 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 		}
 	}
 
-	// Algorithm 1 line 10: order each queue.
+	// Algorithm 1 line 10: order each queue. Entries arrive in view order,
+	// which is already the final order in the common round-over-round case, so
+	// a linear sortedness check avoids most sort calls. Sequence numbers are
+	// unique, making the order total (stability is irrelevant).
 	for _, q := range perQueue {
-		sort.SliceStable(q, func(i, j int) bool {
-			if s.cfg.OrderByDemand && q[i].RemainingDemand() != q[j].RemainingDemand() {
-				return q[i].RemainingDemand() < q[j].RemainingDemand()
+		sorted := true
+		for i := 1; i < len(q); i++ {
+			if s.entryLess(q[i], q[i-1]) {
+				sorted = false
+				break
 			}
-			return q[i].Seq() < q[j].Seq()
-		})
+		}
+		if !sorted {
+			sort.Slice(q, func(i, j int) bool { return s.entryLess(q[i], q[j]) })
+		}
 	}
 
 	// Algorithm 2 line 1: split capacity across non-empty queues by weight.
-	weights := make([]float64, k)
+	weights := s.weights[:k]
 	var totalWeight float64
 	w := 1.0
 	for i := 0; i < k; i++ {
+		weights[i] = 0
 		if len(perQueue[i]) > 0 {
 			weights[i] = w
 			totalWeight += w
 		}
 		w /= s.cfg.QueueWeightDecay
 	}
-	alloc := make(sched.Assignment, len(jobs))
+	clear(out)
 	if totalWeight == 0 {
-		return alloc
+		return
 	}
 
 	remaining := s.remaining // unmet ready demand per job
@@ -198,17 +284,18 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 	leftover := 0.0
 	for i := 0; i < k; i++ {
 		budget := capacity * weights[i] / totalWeight
-		for _, j := range perQueue[i] {
+		for _, e := range perQueue[i] {
 			if budget <= 0 {
 				break
 			}
-			d := remaining[j.ID()]
+			id := e.job.ID()
+			d := remaining[id]
 			if d <= 0 {
 				continue
 			}
 			x := math.Min(budget, d)
-			alloc[j.ID()] += x
-			remaining[j.ID()] -= x
+			out[id] += x
+			remaining[id] -= x
 			budget -= x
 		}
 		leftover += budget
@@ -217,21 +304,29 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 	// Algorithm 2 line 13 (work conservation): spill leftover capacity to any
 	// job with unmet demand, highest-priority queues first.
 	for i := 0; i < k && leftover > 1e-12; i++ {
-		for _, j := range perQueue[i] {
+		for _, e := range perQueue[i] {
 			if leftover <= 1e-12 {
 				break
 			}
-			d := remaining[j.ID()]
+			id := e.job.ID()
+			d := remaining[id]
 			if d <= 0 {
 				continue
 			}
 			x := math.Min(leftover, d)
-			alloc[j.ID()] += x
-			remaining[j.ID()] -= x
+			out[id] += x
+			remaining[id] -= x
 			leftover -= x
 		}
 	}
-	return alloc
+}
+
+// entryLess orders jobs within one queue (Algorithm 1 line 10).
+func (s *LASMQ) entryLess(a, b queueEntry) bool {
+	if s.cfg.OrderByDemand && a.demand != b.demand {
+		return a.demand < b.demand
+	}
+	return a.seq < b.seq
 }
 
 // Horizon implements sched.Hinter: the decision can change before the next

@@ -35,12 +35,15 @@ func benchSpecs(n int) []job.Spec {
 
 // newBenchSim admits every job at t=0 and runs one round to saturate the
 // cluster, so subsequent schedule() calls measure pure round overhead.
+// FullReschedule keeps the saturated-round short-circuit out of the way: the
+// benchmark measures the cost of a complete policy + quantize + scan round.
 func newBenchSim(b *testing.B, policy sched.Scheduler) *sim {
 	b.Helper()
 	cfg := DefaultConfig()
 	cfg.MaxRunningJobs = 0
+	cfg.FullReschedule = true
 	s := newSim(benchSpecs(200), policy, cfg)
-	t, batch, ok := s.queue.popBatch()
+	t, batch, ok := s.queue.popBatch(nil)
 	if !ok || t != 0 {
 		b.Fatalf("expected an arrival batch at t=0, got t=%v ok=%v", t, ok)
 	}

@@ -48,6 +48,13 @@ type Config struct {
 	// (container usage, running and waiting jobs) at most every
 	// SampleInterval seconds of virtual time.
 	SampleInterval float64
+	// FullReschedule disables the incremental fast paths and re-invokes the
+	// policy on every scheduling round, as the engine originally did. The
+	// default (false) skips rounds that provably cannot launch a task —
+	// keeping stateful policies' internal clocks in sync via sched.Observer —
+	// and must produce byte-identical results; it exists as an escape hatch
+	// and for the differential tests that prove the equivalence.
+	FullReschedule bool
 }
 
 // DefaultConfig returns the paper's testbed configuration with failures,
@@ -199,14 +206,36 @@ type sim struct {
 	order    []int // job IDs in workload order (deterministic iteration)
 	attempts []*attempt
 
-	queue     eventHeap
-	waiting   []*jobState // arrived, not yet admitted (FIFO)
-	running   int         // admitted and not completed
-	remaining int         // jobs not yet completed
-	usedSlots int         // containers currently occupied
-	nextSeq   int         // admission sequence counter
-	now       float64
-	makespan  float64
+	queue      eventHeap
+	waiting    []*jobState // arrived, not yet admitted (FIFO)
+	running    int         // admitted and not completed
+	remaining  int         // jobs not yet completed
+	usedSlots  int         // containers currently occupied
+	readySlots int         // containers needed by ready tasks of admitted jobs
+	nextSeq    int         // admission sequence counter
+	now        float64
+	makespan   float64
+
+	// Optional policy capabilities, resolved once instead of per round.
+	buffered  sched.BufferedAssigner
+	observer  sched.Observer
+	obsHinter sched.ObserveHinter
+
+	// Observation gating for skipped rounds (see observeRound): obsHorizon is
+	// the earliest time the policy's state could change, valid while
+	// metricsDirty is false.
+	metricsDirty bool
+	obsHorizon   float64
+
+	// Round-local scratch reused across scheduling rounds.
+	batchBuf   []event
+	viewsBuf   []sched.JobView
+	demand     map[int]float64
+	alloc      sched.Assignment
+	rateBounds sched.Assignment
+	quant      sched.Quantizer
+	cands      []launchCand
+	specCands  []specCand
 
 	busyIntegral float64 // container-seconds delivered (for utilization)
 	peakUsage    int
@@ -214,13 +243,40 @@ type sim struct {
 	lastSample   float64
 }
 
+// launchCand is one job below its container target in a scheduling round.
+type launchCand struct {
+	js     *jobState
+	target int
+}
+
+// specCand is one speculation candidate (a running, unduplicated task).
+type specCand struct {
+	js        *jobState
+	stage     int
+	task      int
+	remaining float64
+}
+
 func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
 	s := &sim{
-		cfg:       cfg,
-		policy:    policy,
-		rng:       dist.New(cfg.Seed),
-		jobs:      make(map[int]*jobState, len(specs)),
-		remaining: len(specs),
+		cfg:          cfg,
+		policy:       policy,
+		rng:          dist.New(cfg.Seed),
+		jobs:         make(map[int]*jobState, len(specs)),
+		remaining:    len(specs),
+		demand:       make(map[int]float64),
+		metricsDirty: true,
+	}
+	if b, ok := policy.(sched.BufferedAssigner); ok {
+		s.buffered = b
+		s.alloc = make(sched.Assignment)
+	}
+	if o, ok := policy.(sched.Observer); ok {
+		s.observer = o
+	}
+	if h, ok := policy.(sched.ObserveHinter); ok {
+		s.obsHinter = h
+		s.rateBounds = make(sched.Assignment)
 	}
 	for i := range specs {
 		js := newJobState(&specs[i])
@@ -233,7 +289,8 @@ func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
 
 func (s *sim) run() error {
 	for s.remaining > 0 {
-		t, batch, ok := s.queue.popBatch()
+		t, batch, ok := s.queue.popBatch(s.batchBuf)
+		s.batchBuf = batch
 		if !ok {
 			return fmt.Errorf("engine: deadlock at t=%v with %d unfinished jobs", s.now, s.remaining)
 		}
@@ -247,6 +304,9 @@ func (s *sim) run() error {
 			case evArrival:
 				s.handleArrival(ev.jobID)
 			case evAttemptDone:
+				// Attempt endings change usage and progress aggregates, so any
+				// previously computed observation horizon is stale.
+				s.metricsDirty = true
 				s.handleAttemptDone(ev.attempt)
 			}
 		}
@@ -294,6 +354,8 @@ func (s *sim) admit() {
 		js.seq = s.nextSeq
 		s.nextSeq++
 		s.running++
+		s.readySlots += js.readyContainersTotal()
+		s.metricsDirty = true // the schedulable job set changed
 	}
 }
 
@@ -341,8 +403,9 @@ func (s *sim) handleAttemptDone(attemptID int) {
 func (s *sim) requeueTask(st *stageState, taskIdx int) {
 	task := &st.tasks[taskIdx]
 	task.ready = true
-	st.readyIdx = append(st.readyIdx, taskIdx)
+	st.pushReady(taskIdx)
 	st.readyContainers += task.spec.Containers
+	s.readySlots += task.spec.Containers // requeues only happen to admitted jobs
 }
 
 // finishAttempt finalizes service accounting for an attempt that ended
@@ -385,6 +448,7 @@ func (s *sim) completeStage(js *jobState, idx int) {
 		next.remainingDeps--
 		if next.remainingDeps == 0 {
 			js.activateStage(dep)
+			s.readySlots += next.readyContainers
 		}
 	}
 	if js.doneStages < len(js.stages) {
@@ -403,13 +467,31 @@ func (s *sim) completeStage(js *jobState, idx int) {
 // schedule runs one scheduling round: query the policy, quantize its shares
 // to whole containers, launch ready tasks up to each job's target, then apply
 // work-conserving leftover allocation and optional speculation.
+//
+// Rounds that provably cannot launch a task are short-circuited (see
+// canSkipRound in incremental.go): the policy's allocation would be thrown
+// away, so only its state mutation is replayed via sched.Observer.
 func (s *sim) schedule() {
+	if !s.cfg.FullReschedule && s.canSkipRound() {
+		s.observeRound()
+		return
+	}
+	// A full round may launch tasks, changing usage rates and the policy's
+	// state; any previously computed observation horizon is stale.
+	s.metricsDirty = true
+
 	views, demand := s.views()
 	if len(views) == 0 {
 		return
 	}
-	alloc := s.policy.Assign(s.now, float64(s.cfg.Containers), views)
-	targets := sched.Quantize(alloc, demand, s.cfg.Containers)
+	var alloc sched.Assignment
+	if s.buffered != nil {
+		s.buffered.AssignInto(s.now, float64(s.cfg.Containers), views, s.alloc)
+		alloc = s.alloc
+	} else {
+		alloc = s.policy.Assign(s.now, float64(s.cfg.Containers), views)
+	}
+	targets := s.quant.QuantizeInto(alloc, demand, s.cfg.Containers)
 
 	// Launch ready tasks while a job is below its target, serving the
 	// largest allocation deficits first (the policy's most-preferred jobs).
@@ -418,21 +500,20 @@ func (s *sim) schedule() {
 	// containers are RESERVED for it, as YARN's schedulers do; without the
 	// reservation, 1-container map tasks of lower-priority jobs would snatch
 	// every freed container and starve multi-container tasks indefinitely.
-	type cand struct {
-		js     *jobState
-		target int
-	}
-	cands := make([]cand, 0, len(views))
+	cands := s.cands[:0]
 	for _, id := range s.order {
 		js := s.jobs[id]
 		if !js.schedulable() {
 			continue
 		}
 		if t := targets[id]; t > js.usage {
-			cands = append(cands, cand{js: js, target: t})
+			cands = append(cands, launchCand{js: js, target: t})
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
+	s.cands = cands
+	// The comparator is a total order (admission sequences are unique), so an
+	// unstable sort is deterministic.
+	sort.Slice(cands, func(i, j int) bool {
 		di := cands[i].target - cands[i].js.usage
 		dj := cands[j].target - cands[j].js.usage
 		if di != dj {
@@ -492,18 +573,19 @@ func (s *sim) startNextReadyTask(js *jobState, reserved int) (started bool, need
 	free := s.cfg.Containers - s.usedSlots - reserved
 	for _, si := range js.activeStages {
 		st := &js.stages[si]
-		for len(st.readyIdx) > 0 {
-			ti := st.readyIdx[0]
+		for !st.readyEmpty() {
+			ti := st.peekReady()
 			task := &st.tasks[ti]
 			if !task.ready || task.done {
-				st.readyIdx = st.readyIdx[1:] // stale entry
+				st.popReady() // stale entry
 				continue
 			}
 			if task.spec.Containers > free {
 				return false, task.spec.Containers
 			}
-			st.readyIdx = st.readyIdx[1:]
+			st.popReady()
 			st.readyContainers -= task.spec.Containers
+			s.readySlots -= task.spec.Containers
 			task.ready = false
 			s.launchAttempt(js, si, ti, false)
 			return true, 0
@@ -575,13 +657,7 @@ func (s *sim) speculate(reserved int) {
 	if free <= 0 {
 		return
 	}
-	type candidate struct {
-		js        *jobState
-		stage     int
-		task      int
-		remaining float64
-	}
-	var cands []candidate
+	cands := s.specCands[:0]
 	for _, id := range s.order {
 		js := s.jobs[id]
 		if !js.schedulable() {
@@ -596,10 +672,11 @@ func (s *sim) speculate(reserved int) {
 				}
 				primary := s.attempts[task.attemptIDs[len(task.attemptIDs)-1]]
 				worstCase := primary.start + task.spec.Duration*s.cfg.StragglerFactor
-				cands = append(cands, candidate{js: js, stage: si, task: ti, remaining: worstCase - s.now})
+				cands = append(cands, specCand{js: js, stage: si, task: ti, remaining: worstCase - s.now})
 			}
 		}
 	}
+	s.specCands = cands
 	// Longest expected remaining time first; deterministic tie-break on job ID.
 	for i := range cands {
 		best := i
@@ -625,20 +702,22 @@ func (s *sim) speculate(reserved int) {
 }
 
 // views builds the scheduler-facing snapshots of all admitted, unfinished
-// jobs and their ready demand (for share quantization).
+// jobs and their ready demand (for share quantization), reusing the view
+// slice, the per-job view adapters, and the demand map across rounds.
 func (s *sim) views() ([]sched.JobView, map[int]float64) {
-	var views []sched.JobView
-	demand := make(map[int]float64)
+	views := s.viewsBuf[:0]
+	clear(s.demand)
 	for _, id := range s.order {
 		js := s.jobs[id]
 		if !js.schedulable() {
 			continue
 		}
-		v := &jobView{js: js, now: s.now}
-		views = append(views, v)
-		demand[id] = v.ReadyDemand()
+		js.view.now = s.now
+		views = append(views, &js.view)
+		s.demand[id] = js.readyDemand()
 	}
-	return views, demand
+	s.viewsBuf = views
+	return views, s.demand
 }
 
 func (s *sim) result() *Result {

@@ -34,9 +34,14 @@ type taskState struct {
 // stageState tracks one stage, with O(1) aggregates for service accounting
 // and stage progress (the paper's stage-awareness inputs).
 type stageState struct {
-	spec      *job.StageSpec
-	tasks     []taskState
-	readyIdx  []int // queue of ready task indices
+	spec  *job.StageSpec
+	tasks []taskState
+	// Ready-task queue: the live entries are readyIdx[readyHead:]. Dequeuing
+	// advances readyHead instead of re-slicing so the backing array is not
+	// abandoned (and reallocated) on every launch; the queue is reset to its
+	// full capacity whenever it drains.
+	readyIdx  []int
+	readyHead int
 	doneTasks int
 
 	// DAG bookkeeping: a stage activates when remainingDeps reaches zero and
@@ -60,6 +65,25 @@ type stageState struct {
 	// fraction progressed = (doneTasks + now*invDurSum - startInvDurSum) / n.
 	invDurSum      float64
 	startInvDurSum float64
+}
+
+// pushReady enqueues a ready task index.
+func (st *stageState) pushReady(ti int) { st.readyIdx = append(st.readyIdx, ti) }
+
+// readyEmpty reports whether the ready queue has no live entries.
+func (st *stageState) readyEmpty() bool { return st.readyHead >= len(st.readyIdx) }
+
+// peekReady returns the next ready task index; the queue must be non-empty.
+func (st *stageState) peekReady() int { return st.readyIdx[st.readyHead] }
+
+// popReady dequeues the next entry, reclaiming the backing array once the
+// queue drains.
+func (st *stageState) popReady() {
+	st.readyHead++
+	if st.readyHead == len(st.readyIdx) {
+		st.readyIdx = st.readyIdx[:0]
+		st.readyHead = 0
+	}
 }
 
 func (st *stageState) attained(now float64) float64 {
@@ -107,10 +131,15 @@ type jobState struct {
 	attempts    int
 	failures    int
 	speculative int
+
+	// view is the job's persistent sched.JobView adapter, re-stamped with the
+	// current time each round instead of allocated anew.
+	view jobView
 }
 
 func newJobState(spec *job.Spec) *jobState {
 	js := &jobState{spec: spec}
+	js.view.js = js
 	js.stages = make([]stageState, len(spec.Stages))
 	for i := range spec.Stages {
 		st := &js.stages[i]
@@ -140,7 +169,7 @@ func (js *jobState) activateStage(i int) {
 	st.active = true
 	for ti := range st.tasks {
 		st.tasks[ti].ready = true
-		st.readyIdx = append(st.readyIdx, ti)
+		st.pushReady(ti)
 		st.readyContainers += st.tasks[ti].spec.Containers
 	}
 	// Keep activeStages sorted ascending so task launch order is stable.
@@ -187,14 +216,19 @@ func (js *jobState) estimated(now float64) float64 {
 	return est
 }
 
-// readyDemand is the number of containers needed by the ready (startable)
-// tasks of the active stages.
-func (js *jobState) readyDemand() float64 {
+// readyContainersTotal is the number of containers needed by the ready
+// (startable) tasks of the active stages.
+func (js *jobState) readyContainersTotal() int {
 	var total int
 	for _, i := range js.activeStages {
 		total += js.stages[i].readyContainers
 	}
-	return float64(total)
+	return total
+}
+
+// readyDemand is readyContainersTotal as the scheduler-facing float.
+func (js *jobState) readyDemand() float64 {
+	return float64(js.readyContainersTotal())
 }
 
 // remainingDemand is the number of containers needed by all remaining tasks
@@ -246,18 +280,9 @@ type eventHeap struct {
 
 func (h *eventHeap) push(t float64, ev event) { h.q.Push(t, ev) }
 
-func (h *eventHeap) popBatch() (float64, []event, bool) {
-	t, first, ok := h.q.Pop()
-	if !ok {
-		return 0, nil, false
-	}
-	batch := []event{first}
-	for {
-		nt, _, ok := h.q.Peek()
-		if !ok || nt != t {
-			return t, batch, true
-		}
-		_, ev, _ := h.q.Pop()
-		batch = append(batch, ev)
-	}
+// popBatch drains all events sharing the earliest timestamp into buf
+// (reusing its backing array), so the simulator's per-iteration batch is
+// allocation-free in steady state.
+func (h *eventHeap) popBatch(buf []event) (float64, []event, bool) {
+	return h.q.PopBatch(buf)
 }

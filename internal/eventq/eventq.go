@@ -50,7 +50,44 @@ func (q *Queue[T]) Pop() (time float64, value T, ok bool) {
 	if last > 0 {
 		q.down(0)
 	}
+	q.shrink()
 	return top.time, top.value, true
+}
+
+// PopBatch removes every event sharing the earliest timestamp and appends
+// them, in insertion order, to buf[:0] — so callers can reuse one buffer
+// across calls instead of allocating a slice per batch. ok is false if the
+// queue is empty.
+func (q *Queue[T]) PopBatch(buf []T) (time float64, batch []T, ok bool) {
+	batch = buf[:0]
+	t, first, ok := q.Pop()
+	if !ok {
+		return 0, batch, false
+	}
+	batch = append(batch, first)
+	for {
+		nt, _, ok := q.Peek()
+		if !ok || nt != t {
+			return t, batch, true
+		}
+		_, v, _ := q.Pop()
+		batch = append(batch, v)
+	}
+}
+
+// shrinkMin is the capacity below which the heap's backing array is never
+// reallocated downward (shrinking tiny slices would only cause churn).
+const shrinkMin = 64
+
+// shrink reallocates the backing array once occupancy falls below a quarter
+// of its capacity, returning memory after the simulation's event population
+// peaks (e.g. all arrivals pushed up front, then drained).
+func (q *Queue[T]) shrink() {
+	if c := cap(q.items); c > shrinkMin && len(q.items) < c/4 {
+		items := make([]entry[T], len(q.items), c/2)
+		copy(items, q.items)
+		q.items = items
+	}
 }
 
 func (q *Queue[T]) less(i, j int) bool {

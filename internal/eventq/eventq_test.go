@@ -133,3 +133,123 @@ func TestLenTracksOperations(t *testing.T) {
 		t.Fatalf("Len = %d, want 30", q.Len())
 	}
 }
+
+func TestPopBatchEqualTimeOrder(t *testing.T) {
+	var q Queue[int]
+	// Interleave three timestamps; equal-time events must come back in
+	// insertion order, whole timestamp groups at a time.
+	q.Push(2, 20)
+	q.Push(1, 10)
+	q.Push(2, 21)
+	q.Push(1, 11)
+	q.Push(3, 30)
+	q.Push(1, 12)
+
+	var buf []int
+	want := []struct {
+		time  float64
+		batch []int
+	}{
+		{1, []int{10, 11, 12}},
+		{2, []int{20, 21}},
+		{3, []int{30}},
+	}
+	for _, w := range want {
+		tm, batch, ok := q.PopBatch(buf)
+		if !ok || tm != w.time {
+			t.Fatalf("PopBatch = (%v, %v, %v), want time %v", tm, batch, ok, w.time)
+		}
+		if len(batch) != len(w.batch) {
+			t.Fatalf("batch at t=%v: got %v, want %v", tm, batch, w.batch)
+		}
+		for i := range batch {
+			if batch[i] != w.batch[i] {
+				t.Fatalf("batch at t=%v: got %v, want %v (insertion order)", tm, batch, w.batch)
+			}
+		}
+		buf = batch // reuse the returned buffer, as the simulator does
+	}
+	if _, _, ok := q.PopBatch(buf); ok {
+		t.Fatal("PopBatch on empty queue reported ok")
+	}
+}
+
+func TestPopBatchReusesBuffer(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 8; i++ {
+		q.Push(1, i)
+	}
+	buf := make([]int, 0, 16)
+	_, batch, ok := q.PopBatch(buf)
+	if !ok || len(batch) != 8 {
+		t.Fatalf("PopBatch = (%v, ok=%v), want 8 events", batch, ok)
+	}
+	if &batch[0] != &buf[:1][0] {
+		t.Fatal("PopBatch did not reuse the caller's buffer backing array")
+	}
+}
+
+func TestPopBatchMatchesPopSequence(t *testing.T) {
+	f := func(times []float64) bool {
+		var a, b Queue[int]
+		for i, tm := range times {
+			a.Push(tm, i)
+			b.Push(tm, i)
+		}
+		var buf []int
+		var fromBatches []int
+		for {
+			_, batch, ok := a.PopBatch(buf)
+			if !ok {
+				break
+			}
+			fromBatches = append(fromBatches, batch...)
+			buf = batch
+		}
+		var fromPops []int
+		for {
+			_, v, ok := b.Pop()
+			if !ok {
+				break
+			}
+			fromPops = append(fromPops, v)
+		}
+		if len(fromBatches) != len(fromPops) {
+			return false
+		}
+		for i := range fromPops {
+			if fromBatches[i] != fromPops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShrinkReleasesBacking(t *testing.T) {
+	var q Queue[int]
+	const n = 4096
+	for i := 0; i < n; i++ {
+		q.Push(float64(i), i)
+	}
+	grown := cap(q.items)
+	prev := math.Inf(-1)
+	for q.Len() > 0 {
+		tm, _, ok := q.Pop()
+		if !ok || tm < prev {
+			t.Fatalf("order violated while shrinking: %v after %v", tm, prev)
+		}
+		prev = tm
+	}
+	if cap(q.items) >= grown {
+		t.Fatalf("backing array never shrank: cap still %d (peak %d)", cap(q.items), grown)
+	}
+	// The queue must stay fully usable after shrinking.
+	q.Push(1, 1)
+	if tm, v, ok := q.Pop(); !ok || tm != 1 || v != 1 {
+		t.Fatalf("queue unusable after shrink: (%v, %v, %v)", tm, v, ok)
+	}
+}

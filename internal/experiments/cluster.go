@@ -76,7 +76,7 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		isolated, err := isolatedRuntimes(specs)
+		isolated, err := isolatedRuntimes(specs, opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +85,7 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := engine.Run(specs, policy, engine.DefaultConfig())
+			run, err := engine.Run(specs, policy, opts.engineConfig())
 			if err != nil {
 				return nil, fmt.Errorf("%s at interval %v: %w", name, meanInterval, err)
 			}
@@ -115,10 +115,10 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 
 // isolatedRuntimes computes each job's alone-on-the-cluster runtime, the
 // slowdown denominator.
-func isolatedRuntimes(specs []job.Spec) (map[int]float64, error) {
+func isolatedRuntimes(specs []job.Spec, cfg engine.Config) (map[int]float64, error) {
 	out := make(map[int]float64, len(specs))
 	for i := range specs {
-		iso, err := engine.RunIsolated(specs[i], sched.NewFIFO(), engine.DefaultConfig())
+		iso, err := engine.RunIsolated(specs[i], sched.NewFIFO(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +197,7 @@ func Fig3(opts Options) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fairRun, err := engine.Run(specs, sched.NewFair(), engine.DefaultConfig())
+		fairRun, err := engine.Run(specs, sched.NewFair(), opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +210,7 @@ func Fig3(opts Options) (*Fig3Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := engine.Run(specs, mq, engine.DefaultConfig())
+			run, err := engine.Run(specs, mq, opts.engineConfig())
 			if err != nil {
 				return nil, fmt.Errorf("fig3 case %d: %w", i+1, err)
 			}

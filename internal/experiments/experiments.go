@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"lasmq/internal/core"
+	"lasmq/internal/engine"
 	"lasmq/internal/sched"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// UniformJobs overrides the light-tailed workload length (default:
 	// the paper's 10,000).
 	UniformJobs int
+	// FullReschedule forwards engine.Config.FullReschedule: it disables the
+	// task-level engine's incremental round fast paths, re-invoking the
+	// policy every round. Results must be identical either way (a
+	// differential test enforces this); the knob exists for that test and as
+	// an escape hatch.
+	FullReschedule bool
 }
 
 // Defaults fills unset fields with paper-scale values.
@@ -53,6 +60,15 @@ func (o Options) Defaults() Options {
 		o.UniformJobs = 10000
 	}
 	return o
+}
+
+// engineConfig returns the task-level engine configuration the cluster
+// experiments share: the paper's testbed defaults plus the Options'
+// scheduling-mode knob.
+func (o Options) engineConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.FullReschedule = o.FullReschedule
+	return cfg
 }
 
 // clusterLASMQ returns the paper's testbed configuration of LAS_MQ

@@ -126,7 +126,7 @@ func Tradeoff(opts Options) ([]TradeoffPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.Run(specs, blend, engine.DefaultConfig())
+		res, err := engine.Run(specs, blend, opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}

@@ -116,13 +116,13 @@ func MotivationSJFError(opts Options) (*SJFErrorResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		mqRun, err := engine.Run(exact, mq, engine.DefaultConfig())
+		mqRun, err := engine.Run(exact, mq, opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
 		lasmqSum += mqRun.MeanResponseTime()
 
-		oracleRun, err := engine.Run(exact, sched.NewSJF(), engine.DefaultConfig())
+		oracleRun, err := engine.Run(exact, sched.NewSJF(), opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +134,7 @@ func MotivationSJFError(opts Options) (*SJFErrorResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := engine.Run(specs, sched.NewSJF(), engine.DefaultConfig())
+			run, err := engine.Run(specs, sched.NewSJF(), opts.engineConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -175,7 +175,7 @@ func AblationWeights(opts Options) (map[float64]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		fairRun, err := engine.Run(specs, sched.NewFair(), engine.DefaultConfig())
+		fairRun, err := engine.Run(specs, sched.NewFair(), opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +186,7 @@ func AblationWeights(opts Options) (map[float64]float64, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := engine.Run(specs, mq, engine.DefaultConfig())
+			run, err := engine.Run(specs, mq, opts.engineConfig())
 			if err != nil {
 				return nil, err
 			}

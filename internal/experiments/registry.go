@@ -16,7 +16,8 @@ import (
 // are ignored — the runner owns seeding, and each replication is one repeat.
 func Registry(opts Options) []runner.Experiment {
 	opts = opts.Defaults()
-	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d", opts.TraceJobs, opts.UniformJobs)
+	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,full-resched=%t",
+		opts.TraceJobs, opts.UniformJobs, opts.FullReschedule)
 	perSeed := func(seed int64) Options {
 		o := opts
 		o.Seed = seed

@@ -240,11 +240,17 @@ func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
 		nextSeq   int
 		pi        int // next pending index
 		hinter    sched.Hinter
+		buffered  sched.BufferedAssigner
 		views     []sched.JobView
+		alloc     sched.Assignment
 		capacity  = cfg.Capacity
 	)
 	if h, ok := policy.(sched.Hinter); ok {
 		hinter = h
+	}
+	if b, ok := policy.(sched.BufferedAssigner); ok {
+		buffered = b
+		alloc = make(sched.Assignment)
 	}
 
 	admit := func() {
@@ -282,12 +288,17 @@ func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
 			continue
 		}
 
-		// Build views and ask the policy for shares.
+		// Build views and ask the policy for shares, reusing the allocation
+		// map when the policy supports buffered assignment.
 		views = views[:0]
 		for _, j := range active {
 			views = append(views, &j.view)
 		}
-		alloc := policy.Assign(now, capacity, views)
+		if buffered != nil {
+			buffered.AssignInto(now, capacity, views, alloc)
+		} else {
+			alloc = policy.Assign(now, capacity, views)
+		}
 		res.Rounds++
 
 		// Apply rates (defensively capped by width).

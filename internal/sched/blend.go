@@ -20,11 +20,15 @@ type Blend struct {
 	primary   Scheduler
 	secondary Scheduler
 	theta     float64
+
+	pa, sa Assignment // scratch for component allocations
 }
 
 var (
-	_ Scheduler = (*Blend)(nil)
-	_ Hinter    = (*Blend)(nil)
+	_ Scheduler        = (*Blend)(nil)
+	_ BufferedAssigner = (*Blend)(nil)
+	_ Observer         = (*Blend)(nil)
+	_ Hinter           = (*Blend)(nil)
 )
 
 // NewBlend returns a scheduler allocating
@@ -49,22 +53,49 @@ func (b *Blend) Theta() float64 { return b.theta }
 
 // Assign implements Scheduler.
 func (b *Blend) Assign(now float64, capacity float64, jobs []JobView) Assignment {
+	out := make(Assignment, len(jobs))
+	b.AssignInto(now, capacity, jobs, out)
+	return out
+}
+
+// AssignInto implements BufferedAssigner, reusing scratch maps for the
+// component allocations.
+func (b *Blend) AssignInto(now float64, capacity float64, jobs []JobView, out Assignment) {
 	if b.theta == 0 {
-		return b.primary.Assign(now, capacity, jobs)
+		assignInto(b.primary, now, capacity, jobs, out)
+		return
 	}
 	if b.theta == 1 {
-		return b.secondary.Assign(now, capacity, jobs)
+		assignInto(b.secondary, now, capacity, jobs, out)
+		return
 	}
-	pa := b.primary.Assign(now, capacity, jobs)
-	sa := b.secondary.Assign(now, capacity, jobs)
-	out := make(Assignment, len(pa)+len(sa))
-	for id, x := range pa {
+	if b.pa == nil {
+		b.pa = make(Assignment, len(jobs))
+		b.sa = make(Assignment, len(jobs))
+	}
+	assignInto(b.primary, now, capacity, jobs, b.pa)
+	assignInto(b.secondary, now, capacity, jobs, b.sa)
+	clearAssignment(out)
+	for id, x := range b.pa {
 		out[id] += (1 - b.theta) * x
 	}
-	for id, x := range sa {
+	for id, x := range b.sa {
 		out[id] += b.theta * x
 	}
-	return out
+}
+
+// Observe implements Observer by forwarding to stateful components, so a
+// blend wrapping LAS_MQ keeps its queue state in sync even at instants the
+// engine skips a full scheduling round. A blend with theta strictly between
+// 0 and 1 invokes BOTH components' Assign each round, so both components'
+// state must advance.
+func (b *Blend) Observe(now float64, jobs []JobView) {
+	if o, ok := b.primary.(Observer); ok && b.theta < 1 {
+		o.Observe(now, jobs)
+	}
+	if o, ok := b.secondary.(Observer); ok && b.theta > 0 {
+		o.Observe(now, jobs)
+	}
 }
 
 // Horizon implements Hinter: the earliest change point of either component,

@@ -4,23 +4,39 @@ package sched
 // runnable jobs proportionally to their priorities (the paper draws
 // priorities uniformly from [1,5]), with demand-capped max-min water
 // filling so unused share flows to jobs that can use it.
-type Fair struct{}
+//
+// The scheduler carries water-filling scratch, so one instance must not be
+// shared between concurrent simulation runs.
+type Fair struct {
+	fill []fillEntry
+}
 
 // NewFair returns the Fair baseline scheduler.
 func NewFair() *Fair { return &Fair{} }
 
-var _ Scheduler = (*Fair)(nil)
+var (
+	_ Scheduler        = (*Fair)(nil)
+	_ BufferedAssigner = (*Fair)(nil)
+)
 
 // Name implements Scheduler.
 func (f *Fair) Name() string { return "FAIR" }
 
 // Assign implements Scheduler.
 func (f *Fair) Assign(now float64, capacity float64, jobs []JobView) Assignment {
-	return weightedFill(capacity, jobs, func(j JobView) float64 {
+	out := make(Assignment, len(jobs))
+	f.AssignInto(now, capacity, jobs, out)
+	return out
+}
+
+// AssignInto implements BufferedAssigner.
+func (f *Fair) AssignInto(now float64, capacity float64, jobs []JobView, out Assignment) {
+	clearAssignment(out)
+	weightedFillInto(capacity, jobs, func(j JobView) float64 {
 		p := j.Priority()
 		if p <= 0 {
 			p = 1
 		}
 		return float64(p)
-	})
+	}, out, &f.fill)
 }

@@ -10,14 +10,22 @@ import (
 // (numerically) equal form a tie group and share capacity evenly, which makes
 // the policy degrade to processor sharing when many equal-size jobs are
 // present — exactly the pathology LAS_MQ is designed to avoid.
-type LAS struct{}
+//
+// The scheduler carries sort and water-filling scratch, so one instance must
+// not be shared between concurrent simulation runs.
+type LAS struct {
+	entries []viewEntry
+	fill    []fillEntry
+	levels  []float64
+}
 
 // NewLAS returns the LAS baseline scheduler.
 func NewLAS() *LAS { return &LAS{} }
 
 var (
-	_ Scheduler = (*LAS)(nil)
-	_ Hinter    = (*LAS)(nil)
+	_ Scheduler        = (*LAS)(nil)
+	_ BufferedAssigner = (*LAS)(nil)
+	_ Hinter           = (*LAS)(nil)
 )
 
 // lasTieEps is the tolerance under which two attained-service values are
@@ -31,32 +39,36 @@ func (l *LAS) Name() string { return "LAS" }
 
 // Assign implements Scheduler.
 func (l *LAS) Assign(now float64, capacity float64, jobs []JobView) Assignment {
-	ordered := append([]JobView(nil), jobs...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		if ordered[i].Attained() != ordered[j].Attained() {
-			return ordered[i].Attained() < ordered[j].Attained()
-		}
-		return ordered[i].Seq() < ordered[j].Seq()
-	})
-	alloc := make(Assignment, len(ordered))
+	out := make(Assignment, len(jobs))
+	l.AssignInto(now, capacity, jobs, out)
+	return out
+}
+
+// AssignInto implements BufferedAssigner.
+func (l *LAS) AssignInto(now float64, capacity float64, jobs []JobView, out Assignment) {
+	clearAssignment(out)
+	entries := buildEntries(&l.entries, jobs, JobView.Attained)
+	sortEntries(entries)
 	i := 0
-	for i < len(ordered) && capacity > 0 {
+	for i < len(entries) && capacity > 0 {
 		// Collect the tie group starting at i.
 		groupEnd := i + 1
-		for groupEnd < len(ordered) && ordered[groupEnd].Attained()-ordered[i].Attained() <= lasTieEps {
+		for groupEnd < len(entries) && entries[groupEnd].key-entries[i].key <= lasTieEps {
 			groupEnd++
 		}
-		group := ordered[i:groupEnd]
 		// Evenly share remaining capacity within the group, capped by demand
-		// (unweighted max-min).
-		groupAlloc := weightedFill(capacity, group, func(JobView) float64 { return 1 })
-		for id, x := range groupAlloc {
-			alloc[id] = x
-			capacity -= x
+		// (unweighted max-min). Grants and the capacity they consume are
+		// accumulated in group order, keeping the result deterministic.
+		active := l.fill[:0]
+		for _, e := range entries[i:groupEnd] {
+			if d := e.job.ReadyDemand(); d > 0 {
+				active = append(active, fillEntry{id: e.job.ID(), demand: d, weight: 1})
+			}
 		}
+		l.fill = active
+		capacity -= fillActive(capacity, active, out)
 		i = groupEnd
 	}
-	return alloc
 }
 
 // Horizon implements Hinter: the decision changes when a served job's
@@ -65,10 +77,11 @@ func (l *LAS) Assign(now float64, capacity float64, jobs []JobView) Assignment {
 func (l *LAS) Horizon(now float64, jobs []JobView, alloc Assignment) float64 {
 	// Collect attained levels of all jobs, and find for each served job the
 	// next level strictly above its own.
-	levels := make([]float64, 0, len(jobs))
+	levels := l.levels[:0]
 	for _, j := range jobs {
 		levels = append(levels, j.Attained())
 	}
+	l.levels = levels
 	sort.Float64s(levels)
 
 	horizon := math.Inf(1)

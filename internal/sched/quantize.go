@@ -5,46 +5,80 @@ import (
 	"sort"
 )
 
-// Quantize converts fractional container shares into whole containers using
-// the largest-remainder method, never exceeding capacity, each job's demand
-// cap, or (in total) the sum of the fractional shares rounded to the nearest
-// whole container. The task-level engine uses it to turn policy output into
+// Quantizer converts fractional container shares into whole containers
+// using the largest-remainder method, reusing internal scratch and the
+// result map across rounds so quantization is allocation-free on the hot
+// path. One Quantizer must not be shared between concurrent simulations;
+// the returned map is valid until the next QuantizeInto call.
+type Quantizer struct {
+	shares []qshare
+	trim   []int
+	out    map[int]int
+}
+
+type qshare struct {
+	id    int
+	whole int
+	frac  float64
+}
+
+// Quantize is the allocating convenience wrapper around QuantizeInto; see
+// Quantizer for the semantics.
+func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]int {
+	var qz Quantizer
+	return qz.QuantizeInto(alloc, demand, capacity)
+}
+
+// QuantizeInto converts the fractional shares in alloc into whole
+// containers, never exceeding capacity, each job's demand cap, or (in
+// total) the sum of the fractional shares rounded to the nearest whole
+// container. The task-level engine uses it to turn policy output into
 // physical container counts.
 //
-// Ties in the fractional remainders are broken by ascending job ID so that
-// quantization is deterministic.
-func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]int {
-	type share struct {
-		id    int
-		whole int
-		frac  float64
+// Shares are processed in ascending job-ID order and remainder ties break
+// by ascending job ID, so the result — including the floating-point
+// rounding of the share total — is deterministic and independent of map
+// iteration order.
+func (qz *Quantizer) QuantizeInto(alloc Assignment, demand map[int]float64, capacity int) map[int]int {
+	shares := qz.shares[:0]
+	for id := range alloc {
+		shares = append(shares, qshare{id: id})
 	}
-	shares := make([]share, 0, len(alloc))
+	sort.Slice(shares, func(i, j int) bool { return shares[i].id < shares[j].id })
+	var allocTotal float64
 	total := 0
-	for id, x := range alloc {
+	k := 0
+	for _, s := range shares {
+		x := alloc[s.id]
 		if x <= 0 {
 			continue
 		}
-		if d, ok := demand[id]; ok && x > d {
+		allocTotal += x
+		if d, ok := demand[s.id]; ok && x > d {
 			x = d
 		}
 		whole := int(math.Floor(x + 1e-9))
-		shares = append(shares, share{id: id, whole: whole, frac: x - float64(whole)})
+		shares[k] = qshare{id: s.id, whole: whole, frac: x - float64(whole)}
 		total += whole
+		k++
 	}
+	shares = shares[:k]
+	qz.shares = shares
+
 	// Distribute the remaining whole containers (from summed fractions) to the
 	// largest remainders first.
-	budget := int(math.Round(alloc.Total()))
+	budget := int(math.Round(allocTotal))
 	if budget > capacity {
 		budget = capacity
 	}
 	// Defensive: if the floored shares already exceed the budget (a policy
 	// over-allocated), trim the largest holders first, deterministically.
 	if total > budget {
-		trim := make([]int, len(shares))
+		trim := qz.trim[:0]
 		for i := range shares {
-			trim[i] = i
+			trim = append(trim, i)
 		}
+		qz.trim = trim
 		sort.Slice(trim, func(a, b int) bool {
 			if shares[trim[a]].whole != shares[trim[b]].whole {
 				return shares[trim[a]].whole > shares[trim[b]].whole
@@ -65,7 +99,11 @@ func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]in
 		}
 		return shares[i].id < shares[j].id
 	})
-	result := make(map[int]int, len(shares))
+	if qz.out == nil {
+		qz.out = make(map[int]int, len(shares))
+	} else {
+		clear(qz.out)
+	}
 	for _, s := range shares {
 		n := s.whole
 		if remaining > 0 && s.frac > 1e-9 {
@@ -79,8 +117,8 @@ func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]in
 			}
 		}
 		if n > 0 {
-			result[s.id] = n
+			qz.out[s.id] = n
 		}
 	}
-	return result
+	return qz.out
 }

@@ -9,8 +9,6 @@
 // quantizing shares to whole containers where needed, and driving time.
 package sched
 
-import "math"
-
 // JobView is the scheduler-facing snapshot of one runnable job. Both
 // simulation engines implement it.
 type JobView interface {
@@ -75,74 +73,4 @@ func (a Assignment) Total() float64 {
 		sum += v
 	}
 	return sum
-}
-
-// fillInOrder grants each job min(ReadyDemand, remaining capacity) in the
-// given order and returns the assignment. Jobs with zero demand get no entry.
-func fillInOrder(capacity float64, jobs []JobView) Assignment {
-	alloc := make(Assignment, len(jobs))
-	for _, j := range jobs {
-		if capacity <= 0 {
-			break
-		}
-		d := j.ReadyDemand()
-		if d <= 0 {
-			continue
-		}
-		x := math.Min(capacity, d)
-		alloc[j.ID()] = x
-		capacity -= x
-	}
-	return alloc
-}
-
-// weightedFill performs demand-capped weighted max-min sharing (progressive
-// water filling): capacity is split proportionally to weights, and jobs whose
-// demand is below their proportional share return the excess to the rest.
-func weightedFill(capacity float64, jobs []JobView, weight func(JobView) float64) Assignment {
-	alloc := make(Assignment, len(jobs))
-	type entry struct {
-		job    JobView
-		demand float64
-		weight float64
-	}
-	var active []entry
-	for _, j := range jobs {
-		d := j.ReadyDemand()
-		w := weight(j)
-		if d <= 0 || w <= 0 {
-			continue
-		}
-		active = append(active, entry{job: j, demand: d, weight: w})
-	}
-	const eps = 1e-12
-	for capacity > eps && len(active) > 0 {
-		var totalW float64
-		for _, e := range active {
-			totalW += e.weight
-		}
-		perWeight := capacity / totalW
-		// Saturate every job whose demand is within its proportional share.
-		var next []entry
-		saturated := false
-		for _, e := range active {
-			share := perWeight * e.weight
-			if e.demand <= share+eps {
-				alloc[e.job.ID()] += e.demand
-				capacity -= e.demand
-				saturated = true
-			} else {
-				next = append(next, e)
-			}
-		}
-		if !saturated {
-			// No bottlenecked jobs: everyone takes the proportional share.
-			for _, e := range active {
-				alloc[e.job.ID()] += perWeight * e.weight
-			}
-			return alloc
-		}
-		active = next
-	}
-	return alloc
 }
