@@ -2,9 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-baseline bench-compare reproduce replicate examples clean
+.PHONY: all check lint build vet test test-race race bench bench-baseline bench-compare reproduce replicate examples clean
 
 all: build vet test
+
+# Full pre-merge gate: map-range lint, build, vet, tests, race detector.
+check: lint build vet test test-race
+
+# Policy/kernel packages whose float-bearing maps the lint watches.
+LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/yarn
+
+# Guard against the nondeterminism class PR 2 had to fix by hand: iterating
+# an unordered map (allocations, demands, rate bounds, attained-service
+# tables) while accumulating floats or mutating policy state makes results
+# depend on map iteration order. Any `range` over those maps in non-test
+# code must carry a same-line `// range-ok: <why order cannot matter>`
+# annotation (e.g. keys are sorted before use, or the body does independent
+# per-key writes).
+lint:
+	@bad=$$(grep -rnE 'range +[A-Za-z_.]*(alloc|demand|rates|attained|counts|sums)\b' \
+		--include='*.go' $(LINT_PKGS) | grep -v '_test\.go' | grep -v 'range-ok:'; true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: unordered map range over float-bearing maps" \
+			"(annotate '// range-ok: <reason>' if order cannot matter):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "lint: ok"
 
 build:
 	$(GO) build ./...

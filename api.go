@@ -13,6 +13,7 @@ import (
 	"lasmq/internal/mapreduce"
 	"lasmq/internal/runner"
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 	"lasmq/internal/trace"
 	"lasmq/internal/workload"
 	"lasmq/internal/yarn"
@@ -103,6 +104,12 @@ type (
 	ClusterResult = engine.Result
 	// ClusterJobResult reports one finished job of a cluster run.
 	ClusterJobResult = engine.JobResult
+	// SimResult is the scheduling-substrate kernel's result accumulator.
+	// Both ClusterResult and FluidResult embed it, so the response-time and
+	// slowdown statistics (MeanResponseTime, ResponseTimes, Slowdowns,
+	// BinMeans) read identically across the simulators; code can accept a
+	// *SimResult to work with either.
+	SimResult = substrate.Result
 )
 
 // RunCluster simulates the workload on the task-level cluster simulator.

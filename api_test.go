@@ -115,3 +115,30 @@ func TestPublicAPIFig1(t *testing.T) {
 		t.Errorf("Fig1 LAS_MQ A = %v, want 6", res.LASMQ["A"])
 	}
 }
+
+// TestPublicAPISimResult checks that the cluster and fluid results share the
+// kernel accumulator: both embed lasmq.SimResult, so substrate-generic code
+// can read response-time statistics through one type.
+func TestPublicAPISimResult(t *testing.T) {
+	mean := func(r *lasmq.SimResult) float64 { return r.MeanResponseTime() }
+
+	spec := lasmq.JobSpec{
+		ID: 1, Name: "j", Bin: 1, Priority: 1,
+		Stages: []lasmq.StageSpec{{Name: "map", Tasks: []lasmq.TaskSpec{{Duration: 10, Containers: 1}}}},
+	}
+	cres, err := lasmq.RunCluster([]lasmq.JobSpec{spec}, lasmq.NewFIFO(), lasmq.ClusterConfig{Containers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := lasmq.RunTrace([]lasmq.TraceJob{{ID: 1, Size: 10, Width: 1, Priority: 1}},
+		lasmq.NewFIFO(), lasmq.FluidConfig{Capacity: 1, TaskDuration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mean(&cres.Result); got != 10 {
+		t.Errorf("cluster mean through SimResult = %v, want 10", got)
+	}
+	if got := mean(&fres.Result); got != 10 {
+		t.Errorf("fluid mean through SimResult = %v, want 10", got)
+	}
+}

@@ -31,11 +31,18 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"lasmq/internal/experiments"
 	"lasmq/internal/runner"
 )
+
+// validExperiments lists every value -experiment accepts: the pseudo-name
+// "all", the direct-only "table1" report, and the replication registry.
+func validExperiments() []string {
+	return append([]string{"all", "table1"}, experiments.RegistryNames()...)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -59,6 +66,9 @@ func run() error {
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q: lasmq-bench takes flags only (see -h)", flag.Args())
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -126,7 +136,8 @@ func run() error {
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", *experiment)
+			return fmt.Errorf("unknown experiment %q (valid: %s)",
+				*experiment, strings.Join(validExperiments(), ", "))
 		}
 		return timed(*experiment, func() error { return runner(opts) })
 	}

@@ -46,6 +46,9 @@ func run() error {
 		showCDF = flag.Bool("cdf", false, "print the response-time CDF")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q: lasmq-sim takes flags only (see -h)", flag.Args())
+	}
 
 	specs, fcfg, err := loadTrace(*traceFile, *synth, *jobs, *seed, *capacity)
 	if err != nil {

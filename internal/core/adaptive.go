@@ -186,7 +186,7 @@ func (a *Adaptive) observe(jobs []sched.JobView) {
 		a.attained[j.ID()] = j.Attained()
 	}
 	departed := a.departed[:0]
-	for id := range a.attained {
+	for id := range a.attained { // range-ok: departed ids are sorted before use
 		if !seen[id] {
 			departed = append(departed, id)
 		}
@@ -250,7 +250,7 @@ func (a *Adaptive) refit() {
 	a.inner.levels = levels
 	// Re-place live jobs from their current metric (placement under a fresh
 	// ladder; the demote-only rule applies from here on).
-	for id, metric := range a.attained {
+	for id, metric := range a.attained { // range-ok: independent per-key writes, no accumulation
 		a.inner.queue[id] = levels.Placement(metric)
 	}
 	a.sinceRefit = 0

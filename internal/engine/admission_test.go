@@ -1,0 +1,57 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lasmq/internal/engine"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// TestAdmissionLimitEdgeCases covers the kernel admission queue's boundary
+// settings through the task engine: limit 0 means unlimited, and a limit
+// above the job count must behave identically to unlimited. (Limit 1
+// serialization is covered by TestAdmissionControlSerializesJobs.)
+func TestAdmissionLimitEdgeCases(t *testing.T) {
+	specs := []job.Spec{
+		uniformJob(1, 0, 2, 10),
+		uniformJob(2, 1, 2, 10),
+		uniformJob(3, 2, 2, 10),
+	}
+	run := func(limit int) *engine.Result {
+		t.Helper()
+		cfg := smallConfig(8)
+		cfg.MaxRunningJobs = limit
+		res, err := engine.Run(specs, sched.NewFIFO(), cfg)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if got := len(res.Jobs); got != len(specs) {
+			t.Fatalf("limit %d: completed %d jobs, want %d", limit, got, len(specs))
+		}
+		for _, jr := range res.Jobs {
+			if jr.ResponseTime <= 0 {
+				t.Fatalf("limit %d: job %d has response %v, want > 0", limit, jr.ID, jr.ResponseTime)
+			}
+		}
+		return res
+	}
+
+	unlimited := run(0)
+	above := run(len(specs) + 10)
+	if !reflect.DeepEqual(unlimited.Jobs, above.Jobs) {
+		t.Errorf("limit above job count diverged from unlimited:\n  limit 0: %+v\n  limit %d: %+v",
+			unlimited.Jobs, len(specs)+10, above.Jobs)
+	}
+	if unlimited.MeanResponseTime() != above.MeanResponseTime() {
+		t.Errorf("mean response: limit 0 = %v, limit above count = %v",
+			unlimited.MeanResponseTime(), above.MeanResponseTime())
+	}
+	// With unlimited admission nobody waits for a slot.
+	for _, jr := range unlimited.Jobs {
+		if jr.Admitted != jr.Arrival {
+			t.Errorf("limit 0: job %d admitted at %v, want arrival %v", jr.ID, jr.Admitted, jr.Arrival)
+		}
+	}
+}

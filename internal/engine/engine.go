@@ -18,6 +18,7 @@ import (
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 )
 
 // Config parameterizes a simulation run.
@@ -113,40 +114,17 @@ type JobResult struct {
 	Speculative  int     // speculative attempts launched
 }
 
-// Result reports a whole simulation run.
+// Result reports a whole simulation run. The embedded kernel accumulator
+// provides Scheduler, Makespan, Utilization and the response-time/slowdown
+// statistics (MeanResponseTime, ResponseTimes, BinMeans), recorded in
+// workload order.
 type Result struct {
-	Scheduler string
-	Jobs      []JobResult
-	Makespan  float64
-	// Utilization is the time-averaged fraction of containers busy over the
-	// makespan.
-	Utilization float64
+	substrate.Result
+	Jobs []JobResult
 	// PeakUsage is the maximum number of containers simultaneously busy.
 	PeakUsage int
 	// Timeline holds utilization samples when Config.SampleInterval > 0.
 	Timeline []Sample
-}
-
-// ResponseTimes returns the per-job response times, in workload order.
-func (r *Result) ResponseTimes() []float64 {
-	out := make([]float64, len(r.Jobs))
-	for i := range r.Jobs {
-		out[i] = r.Jobs[i].ResponseTime
-	}
-	return out
-}
-
-// MeanResponseTime returns the average job response time, the paper's primary
-// metric.
-func (r *Result) MeanResponseTime() float64 {
-	if len(r.Jobs) == 0 {
-		return 0
-	}
-	var sum float64
-	for i := range r.Jobs {
-		sum += r.Jobs[i].ResponseTime
-	}
-	return sum / float64(len(r.Jobs))
 }
 
 // Run simulates the workload under the given scheduling policy and returns
@@ -198,44 +176,32 @@ type event struct {
 }
 
 type sim struct {
-	cfg    Config
-	policy sched.Scheduler
-	rng    *rand.Rand
+	cfg Config
+	rng *rand.Rand
+
+	// Kernel modules: policy capability dispatch and observation gating
+	// (driver), the FIFO admission module (adm), and the per-round view
+	// registry with its demand/rate-bound side maps (vs).
+	driver *substrate.Driver
+	adm    *substrate.Queue[*jobState]
+	vs     substrate.ViewSet
 
 	jobs     map[int]*jobState
 	order    []int // job IDs in workload order (deterministic iteration)
 	attempts []*attempt
 
 	queue      eventHeap
-	waiting    []*jobState // arrived, not yet admitted (FIFO)
-	running    int         // admitted and not completed
-	remaining  int         // jobs not yet completed
-	usedSlots  int         // containers currently occupied
-	readySlots int         // containers needed by ready tasks of admitted jobs
-	nextSeq    int         // admission sequence counter
+	remaining  int // jobs not yet completed
+	usedSlots  int // containers currently occupied
+	readySlots int // containers needed by ready tasks of admitted jobs
 	now        float64
 	makespan   float64
 
-	// Optional policy capabilities, resolved once instead of per round.
-	buffered  sched.BufferedAssigner
-	observer  sched.Observer
-	obsHinter sched.ObserveHinter
-
-	// Observation gating for skipped rounds (see observeRound): obsHorizon is
-	// the earliest time the policy's state could change, valid while
-	// metricsDirty is false.
-	metricsDirty bool
-	obsHorizon   float64
-
 	// Round-local scratch reused across scheduling rounds.
-	batchBuf   []event
-	viewsBuf   []sched.JobView
-	demand     map[int]float64
-	alloc      sched.Assignment
-	rateBounds sched.Assignment
-	quant      sched.Quantizer
-	cands      []launchCand
-	specCands  []specCand
+	batchBuf  []event
+	quant     sched.Quantizer
+	cands     []launchCand
+	specCands []specCand
 
 	busyIntegral float64 // container-seconds delivered (for utilization)
 	peakUsage    int
@@ -259,24 +225,12 @@ type specCand struct {
 
 func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
 	s := &sim{
-		cfg:          cfg,
-		policy:       policy,
-		rng:          dist.New(cfg.Seed),
-		jobs:         make(map[int]*jobState, len(specs)),
-		remaining:    len(specs),
-		demand:       make(map[int]float64),
-		metricsDirty: true,
-	}
-	if b, ok := policy.(sched.BufferedAssigner); ok {
-		s.buffered = b
-		s.alloc = make(sched.Assignment)
-	}
-	if o, ok := policy.(sched.Observer); ok {
-		s.observer = o
-	}
-	if h, ok := policy.(sched.ObserveHinter); ok {
-		s.obsHinter = h
-		s.rateBounds = make(sched.Assignment)
+		cfg:       cfg,
+		driver:    substrate.NewDriver(policy),
+		adm:       substrate.NewQueue[*jobState](cfg.MaxRunningJobs),
+		rng:       dist.New(cfg.Seed),
+		jobs:      make(map[int]*jobState, len(specs)),
+		remaining: len(specs),
 	}
 	for i := range specs {
 		js := newJobState(&specs[i])
@@ -306,7 +260,7 @@ func (s *sim) run() error {
 			case evAttemptDone:
 				// Attempt endings change usage and progress aggregates, so any
 				// previously computed observation horizon is stale.
-				s.metricsDirty = true
+				s.driver.MarkDirty()
 				s.handleAttemptDone(ev.attempt)
 			}
 		}
@@ -329,34 +283,27 @@ func (s *sim) sample() {
 	s.timeline = append(s.timeline, Sample{
 		Time:           s.now,
 		UsedContainers: s.usedSlots,
-		RunningJobs:    s.running,
-		WaitingJobs:    len(s.waiting),
+		RunningJobs:    s.adm.Running(),
+		WaitingJobs:    s.adm.Waiting(),
 	})
 }
 
 func (s *sim) handleArrival(jobID int) {
 	js := s.jobs[jobID]
 	js.arrived = true
-	s.waiting = append(s.waiting, js)
+	s.adm.Push(js)
 }
 
 // admit releases waiting jobs into the cluster while the admission limit
-// allows, in arrival order (the paper's job-admission module).
+// allows, in arrival order (the kernel's job-admission module).
 func (s *sim) admit() {
-	for len(s.waiting) > 0 {
-		if s.cfg.MaxRunningJobs > 0 && s.running >= s.cfg.MaxRunningJobs {
-			return
-		}
-		js := s.waiting[0]
-		s.waiting = s.waiting[1:]
+	s.adm.Admit(func(js *jobState, seq int) {
 		js.admitted = true
 		js.admittedAt = s.now
-		js.seq = s.nextSeq
-		s.nextSeq++
-		s.running++
+		js.seq = seq
 		s.readySlots += js.readyContainersTotal()
-		s.metricsDirty = true // the schedulable job set changed
-	}
+		s.driver.MarkDirty() // the schedulable job set changed
+	})
 }
 
 func (s *sim) handleAttemptDone(attemptID int) {
@@ -457,7 +404,7 @@ func (s *sim) completeStage(js *jobState, idx int) {
 	// All stages complete: the job is done.
 	js.completed = true
 	js.completedAt = s.now
-	s.running--
+	s.adm.Done()
 	s.remaining--
 	if s.now > s.makespan {
 		s.makespan = s.now
@@ -478,20 +425,14 @@ func (s *sim) schedule() {
 	}
 	// A full round may launch tasks, changing usage rates and the policy's
 	// state; any previously computed observation horizon is stale.
-	s.metricsDirty = true
+	s.driver.MarkDirty()
 
-	views, demand := s.views()
-	if len(views) == 0 {
+	s.collectViews(true, false)
+	if s.vs.Len() == 0 {
 		return
 	}
-	var alloc sched.Assignment
-	if s.buffered != nil {
-		s.buffered.AssignInto(s.now, float64(s.cfg.Containers), views, s.alloc)
-		alloc = s.alloc
-	} else {
-		alloc = s.policy.Assign(s.now, float64(s.cfg.Containers), views)
-	}
-	targets := s.quant.QuantizeInto(alloc, demand, s.cfg.Containers)
+	alloc := s.driver.Assign(s.now, float64(s.cfg.Containers), s.vs.Views())
+	targets := s.quant.QuantizeInto(alloc, s.vs.Demand(), s.cfg.Containers)
 
 	// Launch ready tasks while a job is below its target, serving the
 	// largest allocation deficits first (the policy's most-preferred jobs).
@@ -701,32 +642,36 @@ func (s *sim) speculate(reserved int) {
 	}
 }
 
-// views builds the scheduler-facing snapshots of all admitted, unfinished
-// jobs and their ready demand (for share quantization), reusing the view
-// slice, the per-job view adapters, and the demand map across rounds.
-func (s *sim) views() ([]sched.JobView, map[int]float64) {
-	views := s.viewsBuf[:0]
-	clear(s.demand)
+// collectViews rebuilds the kernel's view registry with the scheduler-facing
+// snapshots of all admitted, unfinished jobs, reusing the per-job view
+// adapters. Full rounds request the ready-demand map (withDemand, for share
+// quantization); observation rounds for horizon-hinting policies request the
+// per-job metric-rate bounds instead (withRates).
+func (s *sim) collectViews(withDemand, withRates bool) {
+	s.vs.Begin(withDemand, withRates)
 	for _, id := range s.order {
 		js := s.jobs[id]
 		if !js.schedulable() {
 			continue
 		}
 		js.view.now = s.now
-		views = append(views, &js.view)
-		s.demand[id] = js.readyDemand()
+		s.vs.Add(&js.view)
+		if withDemand {
+			s.vs.SetDemand(id, js.readyDemand())
+		}
+		if withRates {
+			s.vs.SetRate(id, s.metricRateBound(js))
+		}
 	}
-	s.viewsBuf = views
-	return views, s.demand
 }
 
 func (s *sim) result() *Result {
 	res := &Result{
-		Scheduler: s.policy.Name(),
-		Makespan:  s.makespan,
 		PeakUsage: s.peakUsage,
 		Timeline:  s.timeline,
 	}
+	res.Scheduler = s.driver.Name()
+	res.Makespan = s.makespan
 	if s.makespan > 0 {
 		res.Utilization = s.busyIntegral / (s.makespan * float64(s.cfg.Containers))
 	}
@@ -745,6 +690,7 @@ func (s *sim) result() *Result {
 			Failures:     js.failures,
 			Speculative:  js.speculative,
 		})
+		res.Record(js.spec.Bin, js.completedAt-js.spec.Arrival)
 	}
 	return res
 }

@@ -445,7 +445,9 @@ func TestLASMQStageAwareDemotesFasterThanBlind(t *testing.T) {
 }
 
 func TestMeanResponseTime(t *testing.T) {
-	res := &engine.Result{Jobs: []engine.JobResult{{ResponseTime: 10}, {ResponseTime: 30}}}
+	res := &engine.Result{}
+	res.Record(1, 10)
+	res.Record(1, 30)
 	if got := res.MeanResponseTime(); got != 20 {
 		t.Errorf("mean = %v, want 20", got)
 	}

@@ -37,44 +37,20 @@ func (s *sim) canSkipRound() bool {
 }
 
 // observeRound replays the policy's per-round state mutation for a skipped
-// round. Stateless policies need nothing at all. For policies that can bound
-// their next state change (sched.ObserveHinter), the Observe call itself is
-// skipped while the schedulable job set is unchanged and no attempt has
-// ended since the horizon was computed (metricsDirty is false — arrivals
-// that stay in the admission queue do not invalidate it) and the current
-// time is strictly before the horizon.
+// round through the kernel driver. Stateless policies need nothing at all.
+// For policies that can bound their next state change (sched.ObserveHinter),
+// the Observe call itself is skipped while the schedulable job set is
+// unchanged and no attempt has ended since the horizon was computed (the
+// driver is not dirty — arrivals that stay in the admission queue do not
+// invalidate it) and the current time is strictly before the horizon. The
+// engine supplies the metric-rate bounds below; the gating itself lives in
+// substrate.Driver.
 func (s *sim) observeRound() {
-	if s.observer == nil {
+	if !s.driver.ObservationDue(s.now) {
 		return
 	}
-	if s.obsHinter != nil && !s.metricsDirty && s.now < s.obsHorizon {
-		return
-	}
-	views := s.viewsBuf[:0]
-	hint := s.obsHinter != nil
-	if hint {
-		clear(s.rateBounds)
-	}
-	for _, id := range s.order {
-		js := s.jobs[id]
-		if !js.schedulable() {
-			continue
-		}
-		js.view.now = s.now
-		views = append(views, &js.view)
-		if hint {
-			s.rateBounds[id] = s.metricRateBound(js)
-		}
-	}
-	s.viewsBuf = views
-	if len(views) == 0 {
-		return // a full round returns before invoking the policy; match it
-	}
-	s.observer.Observe(s.now, views)
-	if hint {
-		s.obsHorizon = s.obsHinter.ObserveHorizon(s.now, views, s.rateBounds)
-		s.metricsDirty = false
-	}
+	s.collectViews(false, s.driver.NeedsRates())
+	s.driver.Observe(s.now, &s.vs)
 }
 
 // metricRateBound returns an upper bound, valid until the next simulator

@@ -186,6 +186,12 @@ func crossEngineWorkload(seed int64, jobs int, taskDuration float64) []job.Spec 
 // tolerance band in either engine count as ties; what must never happen is a
 // strict inversion — one engine claiming a policy clearly wins while the
 // other claims it clearly loses.
+//
+// Both simulators drive policies through the internal/substrate kernel
+// (driver dispatch, admission, view registry, result accumulation), so this
+// doubles as a kernel differential: the means compared below come from the
+// shared substrate.Result accumulator on each side. The live mini-YARN leg
+// of the same property is yarn.TestEngineYarnCompletionOrderAgreement.
 func TestCrossEngineRankingAgreement(t *testing.T) {
 	const (
 		taskDuration = 2.0

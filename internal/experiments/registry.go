@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"lasmq/internal/runner"
 	"lasmq/internal/stats"
@@ -252,8 +253,11 @@ func SelectRegistry(opts Options, names ...string) ([]runner.Experiment, error) 
 			delete(want, e.Name)
 		}
 	}
-	for n := range want {
-		return nil, fmt.Errorf("experiments: unknown experiment %q", n)
+	for _, n := range names {
+		if want[n] {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %s)",
+				n, strings.Join(RegistryNames(), ", "))
+		}
 	}
 	return out, nil
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 )
 
 // JobSpec describes one trace job.
@@ -89,46 +90,15 @@ type JobResult struct {
 	Slowdown float64
 }
 
-// Result reports a whole fluid run.
+// Result reports a whole fluid run. The embedded kernel accumulator
+// provides Scheduler, Makespan, Utilization and the response-time/slowdown
+// statistics (MeanResponseTime, ResponseTimes, Slowdowns), recorded in
+// trace order.
 type Result struct {
-	Scheduler string
-	Jobs      []JobResult
-	Makespan  float64
+	substrate.Result
+	Jobs []JobResult
 	// Rounds is the number of scheduling rounds executed (instrumentation).
 	Rounds int
-	// Utilization is the time-averaged fraction of capacity in use over the
-	// makespan.
-	Utilization float64
-}
-
-// MeanResponseTime returns the average job response time.
-func (r *Result) MeanResponseTime() float64 {
-	if len(r.Jobs) == 0 {
-		return 0
-	}
-	var sum float64
-	for i := range r.Jobs {
-		sum += r.Jobs[i].ResponseTime
-	}
-	return sum / float64(len(r.Jobs))
-}
-
-// ResponseTimes returns per-job response times in trace order.
-func (r *Result) ResponseTimes() []float64 {
-	out := make([]float64, len(r.Jobs))
-	for i := range r.Jobs {
-		out[i] = r.Jobs[i].ResponseTime
-	}
-	return out
-}
-
-// Slowdowns returns per-job slowdowns in trace order.
-func (r *Result) Slowdowns() []float64 {
-	out := make([]float64, len(r.Jobs))
-	for i := range r.Jobs {
-		out[i] = r.Jobs[i].Slowdown
-	}
-	return out
 }
 
 type fluidJob struct {
@@ -218,91 +188,99 @@ func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
 		}
 		seen[s.ID] = true
 	}
+	s := newSim(specs, policy, cfg)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
 
-	// Pending jobs sorted by arrival (stable on trace order).
-	pending := make([]*fluidJob, len(specs))
+// sim is one fluid run: the kernel modules (policy driver, admission queue,
+// view registry) plus the fluid-specific state — continuous time, fractional
+// rates, and exact event computation.
+type sim struct {
+	cfg    Config
+	specs  []JobSpec
+	driver *substrate.Driver
+	adm    *substrate.Queue[*fluidJob]
+	vs     substrate.ViewSet
+
+	pending []*fluidJob // sorted by arrival (stable on trace order)
+	active  []*fluidJob
+	pi      int // next pending index
+	now     float64
+
+	rounds    int
+	makespan  float64
+	delivered float64
+	results   map[int]JobResult
+}
+
+func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
+	s := &sim{
+		cfg:     cfg,
+		specs:   specs,
+		driver:  substrate.NewDriver(policy),
+		adm:     substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
+		pending: make([]*fluidJob, len(specs)),
+		results: make(map[int]JobResult, len(specs)),
+	}
 	for i := range specs {
-		pending[i] = &fluidJob{spec: specs[i]}
-		pending[i].view.j = pending[i]
-		pending[i].view.taskDuration = cfg.TaskDuration
+		s.pending[i] = &fluidJob{spec: specs[i]}
+		s.pending[i].view.j = s.pending[i]
+		s.pending[i].view.taskDuration = cfg.TaskDuration
 	}
-	sort.SliceStable(pending, func(i, j int) bool {
-		return pending[i].spec.Arrival < pending[j].spec.Arrival
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.pending[i].spec.Arrival < s.pending[j].spec.Arrival
 	})
+	return s
+}
 
-	var (
-		delivered float64
-		res       = &Result{Scheduler: policy.Name()}
-		results   = make(map[int]JobResult, len(specs))
-		active    []*fluidJob
-		waiting   []*fluidJob // arrived but not admitted (admission limit)
-		now       float64
-		nextSeq   int
-		pi        int // next pending index
-		hinter    sched.Hinter
-		buffered  sched.BufferedAssigner
-		views     []sched.JobView
-		alloc     sched.Assignment
-		capacity  = cfg.Capacity
-	)
-	if h, ok := policy.(sched.Hinter); ok {
-		hinter = h
-	}
-	if b, ok := policy.(sched.BufferedAssigner); ok {
-		buffered = b
-		alloc = make(sched.Assignment)
-	}
+// admit releases waiting jobs while the admission limit allows; released
+// jobs join the active set with their kernel-issued sequence number.
+func (s *sim) admit() {
+	s.adm.Admit(func(j *fluidJob, seq int) {
+		j.seq = seq
+		s.active = append(s.active, j)
+	})
+}
 
-	admit := func() {
-		for len(waiting) > 0 {
-			if cfg.MaxRunningJobs > 0 && len(active) >= cfg.MaxRunningJobs {
-				return
-			}
-			j := waiting[0]
-			waiting = waiting[1:]
-			j.seq = nextSeq
-			nextSeq++
-			active = append(active, j)
-		}
-	}
-
-	for pi < len(pending) || len(active) > 0 || len(waiting) > 0 {
+func (s *sim) run() error {
+	capacity := s.cfg.Capacity
+	for s.pi < len(s.pending) || len(s.active) > 0 || s.adm.Waiting() > 0 {
 		// Admit arrivals due by now.
-		for pi < len(pending) && pending[pi].spec.Arrival <= now+1e-12 {
-			waiting = append(waiting, pending[pi])
-			pi++
+		for s.pi < len(s.pending) && s.pending[s.pi].spec.Arrival <= s.now+1e-12 {
+			s.adm.Push(s.pending[s.pi])
+			s.pi++
 		}
-		admit()
+		s.admit()
 
-		if len(active) == 0 {
+		if len(s.active) == 0 {
 			// Idle: jump to the next arrival.
-			if pi >= len(pending) {
-				if len(waiting) > 0 {
-					return nil, fmt.Errorf("fluid: %d jobs stuck in admission with empty cluster", len(waiting))
+			if s.pi >= len(s.pending) {
+				if s.adm.Waiting() > 0 {
+					return s.adm.Stuck("fluid")
 				}
 				break
 			}
-			if t := pending[pi].spec.Arrival; t > now {
-				now = t
+			if t := s.pending[s.pi].spec.Arrival; t > s.now {
+				s.now = t
 			}
 			continue
 		}
 
-		// Build views and ask the policy for shares, reusing the allocation
-		// map when the policy supports buffered assignment.
-		views = views[:0]
-		for _, j := range active {
-			views = append(views, &j.view)
+		// Build views and ask the policy for shares through the kernel driver
+		// (which reuses the allocation map for buffered policies).
+		s.vs.Begin(false, false)
+		for _, j := range s.active {
+			s.vs.Add(&j.view)
 		}
-		if buffered != nil {
-			buffered.AssignInto(now, capacity, views, alloc)
-		} else {
-			alloc = policy.Assign(now, capacity, views)
-		}
-		res.Rounds++
+		views := s.vs.Views()
+		alloc := s.driver.Assign(s.now, capacity, views)
+		s.rounds++
 
 		// Apply rates (defensively capped by width).
-		for _, j := range active {
+		for _, j := range s.active {
 			j.rate = math.Min(alloc[j.spec.ID], j.spec.Width)
 			if j.rate < 0 {
 				j.rate = 0
@@ -311,69 +289,76 @@ func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
 
 		// Next event: arrival, earliest completion, policy horizon, step cap.
 		next := math.Inf(1)
-		if pi < len(pending) {
-			next = pending[pi].spec.Arrival
+		if s.pi < len(s.pending) {
+			next = s.pending[s.pi].spec.Arrival
 		}
-		for _, j := range active {
+		for _, j := range s.active {
 			if j.rate > 0 {
-				if t := now + j.remaining()/j.rate; t < next {
+				if t := s.now + j.remaining()/j.rate; t < next {
 					next = t
 				}
 			}
 		}
-		if hinter != nil {
-			if h := hinter.Horizon(now, views, alloc); h < next {
-				next = h
-			}
+		if h := s.driver.Horizon(s.now, views, alloc); h < next {
+			next = h
 		}
-		if cfg.MaxStep > 0 && now+cfg.MaxStep < next {
-			next = now + cfg.MaxStep
+		if s.cfg.MaxStep > 0 && s.now+s.cfg.MaxStep < next {
+			next = s.now + s.cfg.MaxStep
 		}
-		if math.IsInf(next, 1) || next <= now {
-			return nil, fmt.Errorf("fluid: no progress at t=%v with %d active jobs (total rate %v)",
-				now, len(active), alloc.Total())
+		if math.IsInf(next, 1) || next <= s.now {
+			return fmt.Errorf("fluid: no progress at t=%v with %d active jobs (total rate %v)",
+				s.now, len(s.active), alloc.Total())
 		}
 
 		// Advance time and service.
-		dt := next - now
-		now = next
-		live := active[:0]
-		for _, j := range active {
-			delivered += j.rate * dt
+		dt := next - s.now
+		s.now = next
+		live := s.active[:0]
+		for _, j := range s.active {
+			s.delivered += j.rate * dt
 			j.attained += j.rate * dt
 			if j.attained > j.spec.Size {
 				j.attained = j.spec.Size
 			}
 			if j.finished() {
 				j.done = true
+				s.adm.Done()
 				iso := j.spec.Size / math.Min(j.spec.Width, capacity)
-				response := now - j.spec.Arrival
-				results[j.spec.ID] = JobResult{
+				response := s.now - j.spec.Arrival
+				s.results[j.spec.ID] = JobResult{
 					ID:           j.spec.ID,
 					Arrival:      j.spec.Arrival,
-					Completed:    now,
+					Completed:    s.now,
 					ResponseTime: response,
 					Size:         j.spec.Size,
 					Width:        j.spec.Width,
 					Slowdown:     response / iso,
 				}
-				if now > res.Makespan {
-					res.Makespan = now
+				if s.now > s.makespan {
+					s.makespan = s.now
 				}
 				continue
 			}
 			live = append(live, j)
 		}
-		active = live
+		s.active = live
 	}
+	return nil
+}
 
-	if res.Makespan > 0 {
-		res.Utilization = delivered / (res.Makespan * capacity)
+func (s *sim) result() *Result {
+	res := &Result{Rounds: s.rounds}
+	res.Scheduler = s.driver.Name()
+	res.Makespan = s.makespan
+	if s.makespan > 0 {
+		res.Utilization = s.delivered / (s.makespan * s.cfg.Capacity)
 	}
-
 	// Report in trace order.
-	for i := range specs {
-		res.Jobs = append(res.Jobs, results[specs[i].ID])
+	for i := range s.specs {
+		jr := s.results[s.specs[i].ID]
+		res.Jobs = append(res.Jobs, jr)
+		res.Record(0, jr.ResponseTime)
+		res.RecordSlowdown(jr.Slowdown)
 	}
-	return res, nil
+	return res
 }

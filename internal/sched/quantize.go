@@ -41,7 +41,7 @@ func Quantize(alloc Assignment, demand map[int]float64, capacity int) map[int]in
 // iteration order.
 func (qz *Quantizer) QuantizeInto(alloc Assignment, demand map[int]float64, capacity int) map[int]int {
 	shares := qz.shares[:0]
-	for id := range alloc {
+	for id := range alloc { // range-ok: ids are sorted immediately below
 		shares = append(shares, qshare{id: id})
 	}
 	sort.Slice(shares, func(i, j int) bool { return shares[i].id < shares[j].id })

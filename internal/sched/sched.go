@@ -69,7 +69,7 @@ type Hinter interface {
 // Total returns the sum of all shares in the assignment.
 func (a Assignment) Total() float64 {
 	var sum float64
-	for _, v := range a {
+	for _, v := range a { // range-ok: diagnostic sum; never feeds scheduling decisions
 		sum += v
 	}
 	return sum

@@ -36,6 +36,10 @@ type application struct {
 
 	localTasks  int
 	remoteTasks int
+
+	// viewAdapter is the persistent sched.JobView adapter re-stamped by
+	// view() each round, so view construction allocates nothing.
+	viewAdapter appView
 }
 
 type appStage struct {
@@ -248,7 +252,10 @@ type appView struct {
 var _ sched.JobView = (*appView)(nil)
 
 func (a *application) view(now time.Time, scale time.Duration) *appView {
-	return &appView{app: a, now: now, scale: scale}
+	a.viewAdapter.app = a
+	a.viewAdapter.now = now
+	a.viewAdapter.scale = scale
+	return &a.viewAdapter
 }
 
 func (v *appView) ID() int            { return v.app.spec.ID }

@@ -26,6 +26,7 @@ import (
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 )
 
 // Config describes the live cluster.
@@ -371,7 +372,11 @@ func (n *nodeManager) run() {
 
 // resourceManager owns all cluster state and runs the scheduling loop: it is
 // the only goroutine touching applications, node free-counts and the
-// admission queue, so the design is lock-free by construction.
+// admission queue, so the design is lock-free by construction. Policies are
+// driven through the scheduling-substrate kernel — the same admission
+// module, view registry and capability dispatch (BufferedAssigner, Observer)
+// the simulators use — so stateful policies behave identically on the live
+// cluster.
 type resourceManager struct {
 	cluster *Cluster
 
@@ -380,17 +385,26 @@ type resourceManager struct {
 	drainRequests chan chan []JobReport
 	quit          chan struct{}
 
+	driver *substrate.Driver
+	adm    *substrate.Queue[*application]
+	vs     substrate.ViewSet
+	quant  sched.Quantizer
+	cands  []launchCand
+
 	apps      map[int]*application
 	rng       *rand.Rand
 	order     []int
-	waiting   []*application
-	running   int
 	remaining int
 	freeOn    []int // free containers per node
-	nextSeq   int
 
 	reports  []JobReport
 	drainers []chan []JobReport
+}
+
+// launchCand is one application below its container target in a round.
+type launchCand struct {
+	app    *application
+	target int
 }
 
 func newResourceManager(c *Cluster) *resourceManager {
@@ -404,6 +418,8 @@ func newResourceManager(c *Cluster) *resourceManager {
 		completions:   make(chan completion, c.cfg.Nodes*c.cfg.ContainersPerNode),
 		drainRequests: make(chan chan []JobReport),
 		quit:          make(chan struct{}),
+		driver:        substrate.NewDriver(c.policy),
+		adm:           substrate.NewQueue[*application](c.cfg.MaxRunningJobs),
 		apps:          make(map[int]*application),
 		rng:           dist.New(c.cfg.Seed),
 		freeOn:        free,
@@ -441,24 +457,16 @@ func (rm *resourceManager) handleSubmission(sub submission) {
 	app.locality = sub.locality
 	rm.apps[sub.spec.ID] = app
 	rm.order = append(rm.order, sub.spec.ID)
-	rm.waiting = append(rm.waiting, app)
+	rm.adm.Push(app)
 	rm.remaining++
 }
 
 func (rm *resourceManager) admit() {
-	limit := rm.cluster.cfg.MaxRunningJobs
-	for len(rm.waiting) > 0 {
-		if limit > 0 && rm.running >= limit {
-			return
-		}
-		app := rm.waiting[0]
-		rm.waiting = rm.waiting[1:]
+	rm.adm.Admit(func(app *application, seq int) {
 		app.admitted = true
 		app.admittedAt = time.Now()
-		app.seq = rm.nextSeq
-		rm.nextSeq++
-		rm.running++
-	}
+		app.seq = seq
+	})
 }
 
 func (rm *resourceManager) handleCompletion(comp completion) {
@@ -475,7 +483,7 @@ func (rm *resourceManager) handleCompletion(comp completion) {
 
 func (rm *resourceManager) finishApp(app *application) {
 	now := time.Now()
-	rm.running--
+	rm.adm.Done()
 	rm.remaining--
 	scale := float64(rm.cluster.cfg.TimeScale)
 	rm.reports = append(rm.reports, JobReport{
@@ -504,46 +512,58 @@ func (rm *resourceManager) finishApp(app *application) {
 // query the policy for per-job container targets, and launch ready tasks
 // onto nodes (first fit), reserving free containers for the preferred job
 // when its multi-container task does not fit yet.
+//
+// Rounds that provably cannot launch a task — the cluster is saturated, or
+// no admitted application has a ready task — skip the full policy
+// invocation; the kernel driver replays only the policy's state mutation
+// (sched.Observer), so stateful policies (LAS_MQ demotions, Adaptive
+// completion history) keep their internal clocks in sync on the live
+// cluster instead of silently missing those instants.
 func (rm *resourceManager) admitAndSchedule() {
 	rm.admit()
-	if rm.running == 0 {
+	if rm.adm.Running() == 0 {
 		return
 	}
 	now := time.Now()
 	scale := rm.cluster.cfg.TimeScale
+	policyNow := float64(now.UnixNano()) / float64(scale)
 
-	views := make([]sched.JobView, 0, rm.running)
-	demand := make(map[int]float64, rm.running)
+	ready := 0.0
+	rm.vs.Begin(true, false)
 	for _, id := range rm.order {
 		app, ok := rm.apps[id]
 		if !ok || !app.admitted {
 			continue
 		}
 		v := app.view(now, scale)
-		views = append(views, v)
-		demand[id] = v.ReadyDemand()
+		rm.vs.Add(v)
+		d := v.ReadyDemand()
+		rm.vs.SetDemand(id, d)
+		ready += d
 	}
-	if len(views) == 0 {
+	if rm.vs.Len() == 0 {
 		return
 	}
-	capacity := rm.cluster.cfg.Nodes * rm.cluster.cfg.ContainersPerNode
-	alloc := rm.cluster.policy.Assign(float64(now.UnixNano())/float64(scale), float64(capacity), views)
-	targets := sched.Quantize(alloc, demand, capacity)
-
-	type cand struct {
-		app    *application
-		target int
+	if rm.totalFree() == 0 || ready == 0 {
+		rm.driver.Observe(policyNow, &rm.vs)
+		return
 	}
-	var cands []cand
+
+	capacity := rm.cluster.cfg.Nodes * rm.cluster.cfg.ContainersPerNode
+	alloc := rm.driver.Assign(policyNow, float64(capacity), rm.vs.Views())
+	targets := rm.quant.QuantizeInto(alloc, rm.vs.Demand(), capacity)
+
+	cands := rm.cands[:0]
 	for _, id := range rm.order {
 		app, ok := rm.apps[id]
 		if !ok || !app.admitted {
 			continue
 		}
 		if t := targets[id]; t > app.usage {
-			cands = append(cands, cand{app: app, target: t})
+			cands = append(cands, launchCand{app: app, target: t})
 		}
 	}
+	rm.cands = cands
 	sort.SliceStable(cands, func(i, j int) bool {
 		di := cands[i].target - cands[i].app.usage
 		dj := cands[j].target - cands[j].app.usage

@@ -510,3 +510,103 @@ func TestApplicationViewDemands(t *testing.T) {
 		t.Errorf("SizeHint = %v, want %v", got, spec.TotalService())
 	}
 }
+
+// observingScheduler forwards Assign to the wrapped policy and counts the
+// Observe updates the kernel driver delivers on rounds that cannot launch
+// tasks. Counters are only read after Shutdown, when the RM goroutine that
+// calls the policy has exited.
+type observingScheduler struct {
+	inner sched.Scheduler
+	fwd   sched.Observer // non-nil when inner is stateful
+
+	assigns      int
+	observes     int
+	observedJobs int
+}
+
+func (o *observingScheduler) Name() string { return o.inner.Name() }
+
+func (o *observingScheduler) Assign(now, capacity float64, jobs []sched.JobView) sched.Assignment {
+	o.assigns++
+	return o.inner.Assign(now, capacity, jobs)
+}
+
+func (o *observingScheduler) Observe(now float64, jobs []sched.JobView) {
+	o.observes++
+	o.observedJobs += len(jobs)
+	if o.fwd != nil {
+		o.fwd.Observe(now, jobs)
+	}
+}
+
+// TestAdaptiveReceivesObserveLive shows a stateful policy getting Observe
+// updates on the live cluster: once every task of every admitted job is
+// launched, nothing is ready, so heartbeat rounds cannot launch anything —
+// the RM skips the full policy invocation and the kernel driver replays the
+// state mutation via Observe instead (previously those instants were
+// silently dropped).
+func TestAdaptiveReceivesObserveLive(t *testing.T) {
+	adaptive, err := core.NewAdaptive(core.DefaultAdaptiveConfig())
+	if err != nil {
+		t.Fatalf("adaptive: %v", err)
+	}
+	wrapped := &observingScheduler{inner: adaptive, fwd: adaptive}
+	c, err := New(fastConfig(), wrapped)
+	if err != nil {
+		t.Fatalf("new cluster: %v", err)
+	}
+	c.Start()
+	// Single-task jobs long enough (40-60 ms wall at the test's 1 ms scale,
+	// vs. the 2 ms heartbeat) that many heartbeats fire while both tasks run
+	// and nothing is ready.
+	if err := c.Submit(uniformJob(1, 1, 40)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := c.Submit(uniformJob(2, 1, 60)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	reports := drain(t, c)
+	c.Shutdown()
+	if len(reports) != 2 {
+		t.Fatalf("completed %d jobs, want 2", len(reports))
+	}
+	if wrapped.assigns == 0 {
+		t.Fatal("expected full scheduling rounds to reach the policy")
+	}
+	if wrapped.observes == 0 {
+		t.Fatal("expected Observe updates on rounds with nothing to launch")
+	}
+	if wrapped.observedJobs == 0 {
+		t.Fatal("Observe updates carried no job views")
+	}
+}
+
+// TestAdmissionLimitEdgeCasesLive drives the kernel admission queue through
+// its edge cases on the live cluster: limit 0 (unlimited) and a limit above
+// the job count must both admit everything and complete the workload.
+func TestAdmissionLimitEdgeCasesLive(t *testing.T) {
+	for _, limit := range []int{0, 50} {
+		cfg := fastConfig()
+		cfg.MaxRunningJobs = limit
+		c, err := New(cfg, sched.NewFIFO())
+		if err != nil {
+			t.Fatalf("limit %d: new cluster: %v", limit, err)
+		}
+		c.Start()
+		for id := 1; id <= 3; id++ {
+			if err := c.Submit(uniformJob(id, 2, 10)); err != nil {
+				t.Fatalf("limit %d: submit %d: %v", limit, id, err)
+			}
+		}
+		reports := drain(t, c)
+		c.Shutdown()
+		if len(reports) != 3 {
+			t.Fatalf("limit %d: completed %d jobs, want 3", limit, len(reports))
+		}
+		for _, r := range reports {
+			if r.Response <= 0 {
+				t.Errorf("limit %d: job %d has response %v", limit, r.ID, r.Response)
+			}
+		}
+	}
+}
