@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check lint build vet test test-race race bench bench-baseline bench-compare reproduce replicate examples clean
+.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare reproduce replicate examples clean
 
 all: build vet test
 
-# Full pre-merge gate: map-range lint, build, vet, tests, race detector.
-check: lint build vet test test-race
+# Full pre-merge gate: map-range lint, build, vet, tests, race detector, and
+# one race-enabled iteration of the engine benchmarks (bench-smoke), so the
+# benchmark tier itself cannot rot or race silently.
+check: lint build vet test test-race bench-smoke
 
 # Policy/kernel packages whose float-bearing maps the lint watches.
 LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/yarn
@@ -66,6 +68,15 @@ bench_engine.out:
 	$(GO) test -run '^$$' -bench '$(HEAVY_BENCH)' -benchmem -benchtime=3x . > bench_engine.out
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=300x . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRound$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
+	$(GO) test -run '^$$' -bench '^BenchmarkScale100k$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
+
+# One race-enabled iteration of every benchmark in the repo, with the scale
+# tier shrunk via LASMQ_SCALE_JOBS so the race detector's ~10x slowdown stays
+# tolerable. Part of `make check`: it smoke-tests the benchmark code paths
+# themselves (including Scale100k's concurrent heap sampler) so they can't
+# silently rot between baseline refreshes.
+bench-smoke:
+	LASMQ_SCALE_JOBS=2000 $(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
 
 .PHONY: bench_engine.out
 bench-baseline: bench_engine.out

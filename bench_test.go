@@ -14,7 +14,11 @@ package lasmq_test
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"testing"
+	"time"
 
 	"lasmq"
 	"lasmq/internal/core"
@@ -114,6 +118,60 @@ func BenchmarkFig7Heavy(b *testing.B) { benchTrace(b, experiments.Fig7HeavyTaile
 // BenchmarkFig7Uniform regenerates Fig. 7b: 10,000 identical jobs (paper:
 // LAS_MQ ~ FIFO ~ 5e7, FAIR ~ LAS ~ 1e8; scaled down here).
 func BenchmarkFig7Uniform(b *testing.B) { benchTrace(b, experiments.Fig7Uniform) }
+
+// BenchmarkScale100k runs the scale tier: the heavy-tailed trace at 100,000
+// jobs (~4x the paper's) under all four policies. Beyond ns/op and allocs, it
+// samples the heap during the run and reports the high-water mark as
+// peak-heap-bytes, so BENCH_engine.json tracks the memory envelope of the
+// ladder event queue and slab state at scale. LASMQ_SCALE_JOBS overrides the
+// trace length (the race-enabled `make bench-smoke` uses a small value).
+func BenchmarkScale100k(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	if env := os.Getenv("LASMQ_SCALE_JOBS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad LASMQ_SCALE_JOBS %q", env)
+		}
+		opts.ScaleJobs = n
+	}
+	var peak uint64
+	var last *experiments.TraceResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		sampled := make(chan uint64, 1)
+		go func() {
+			var high uint64
+			var ms runtime.MemStats
+			for {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > high {
+					high = ms.HeapAlloc
+				}
+				select {
+				case <-stop:
+					sampled <- high
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}()
+		res, err := experiments.Scale100k(opts)
+		close(stop)
+		if high := <-sampled; high > peak {
+			peak = high
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(peak), "peak-heap-bytes")
+	for _, name := range experiments.PolicyOrder {
+		b.ReportMetric(last.Normalized[name], "norm"+name)
+	}
+}
 
 // BenchmarkFig8Queues regenerates Fig. 8a: the number-of-queues sweep
 // (paper: beats Fair from k = 5 on).

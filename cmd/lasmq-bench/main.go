@@ -6,11 +6,15 @@
 // Usage:
 //
 //	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
-//	             table1|sjf-error|weights|adaptive|tradeoff|geo]
+//	             table1|sjf-error|weights|adaptive|tradeoff|geo|scale-100k]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
-//	            [-csv-dir DIR]
+//	            [-scale-jobs N] [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
+//
+// scale-100k is the 100,000-job stress tier, not a paper figure; "all" skips
+// it in direct mode so reproduce-scale runs stay figure-shaped (select it
+// explicitly, or run replicated mode, where the registry includes it).
 //
 // -cpuprofile and -memprofile capture pprof profiles of the selected
 // experiments (`go tool pprof` reads them), the same hooks `go test -bench`
@@ -53,11 +57,12 @@ func main() {
 
 func run() error {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo)")
+		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, scale-100k)")
 		seed        = flag.Int64("seed", 1, "workload/trace synthesis seed")
 		repeats     = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
 		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
 		uniformJobs = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
+		scaleJobs   = flag.Int("scale-jobs", 0, "scale-100k stress trace length (default: 100000)")
 		csvDirFlag  = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
 		seeds       = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
 		workers     = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
@@ -106,6 +111,7 @@ func run() error {
 		Repeats:     *repeats,
 		TraceJobs:   *traceJobs,
 		UniformJobs: *uniformJobs,
+		ScaleJobs:   *scaleJobs,
 	}
 
 	if *seeds > 1 || *workers > 0 || *cacheDir != "" {
@@ -118,20 +124,21 @@ func run() error {
 	}
 
 	runners := map[string]func(experiments.Options) error{
-		"table1":    showTableI,
-		"fig1":      showFig1,
-		"fig3":      showFig3,
-		"fig5":      showCluster(80, experiments.Fig5),
-		"fig6":      showCluster(50, experiments.Fig6),
-		"fig7a":     showFig7a,
-		"fig7b":     showFig7b,
-		"fig8a":     showFig8a,
-		"fig8b":     showFig8b,
-		"sjf-error": showSJFError,
-		"weights":   showWeights,
-		"adaptive":  showAdaptive,
-		"tradeoff":  showTradeoff,
-		"geo":       showGeo,
+		"table1":     showTableI,
+		"fig1":       showFig1,
+		"fig3":       showFig3,
+		"fig5":       showCluster(80, experiments.Fig5),
+		"fig6":       showCluster(50, experiments.Fig6),
+		"fig7a":      showFig7a,
+		"fig7b":      showFig7b,
+		"fig8a":      showFig8a,
+		"fig8b":      showFig8b,
+		"sjf-error":  showSJFError,
+		"weights":    showWeights,
+		"adaptive":   showAdaptive,
+		"tradeoff":   showTradeoff,
+		"geo":        showGeo,
+		"scale-100k": showScale100k,
 	}
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
@@ -334,6 +341,16 @@ func showTradeoff(opts experiments.Options) error {
 	fmt.Println("== Extension: fairness/response tradeoff (LAS_MQ <-> FAIR blend) ==")
 	fmt.Print(experiments.TradeoffTable(points))
 	return nil
+}
+
+func showScale100k(opts experiments.Options) error {
+	res, err := experiments.Scale100k(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Scale tier: heavy-tailed trace at 100,000 jobs ==")
+	fmt.Print(res.Table())
+	return writeCSV("scale-100k", res.WriteCSV)
 }
 
 func showGeo(opts experiments.Options) error {

@@ -5,10 +5,15 @@
 //	go test -bench ... | lasmq-benchdiff -mode baseline -out BENCH_engine.json
 //	go test -bench ... | lasmq-benchdiff -mode compare  -out BENCH_engine.json
 //
-// Baseline mode records ns/op, B/op and allocs/op per benchmark. Compare mode
-// re-reads the recorded baseline, adds the current numbers plus speedup
+// Baseline mode records ns/op, B/op, allocs/op and any custom b.ReportMetric
+// units (e.g. BenchmarkScale100k's peak-heap-bytes) per benchmark. Compare
+// mode re-reads the recorded baseline, adds the current numbers plus speedup
 // ratios (baseline/current, so > 1 means faster / fewer allocations), writes
-// the merged file back, and prints a comparison table.
+// the merged file back, and prints a comparison table. Compare mode is also
+// the CI regression gate: it exits nonzero, after printing the offending
+// rows, when any benchmark's ns/op or allocs/op regressed by more than
+// -max-regress (default 20%) against the baseline. Benchmarks with no
+// recorded baseline are reported but never gate.
 package main
 
 import (
@@ -23,12 +28,14 @@ import (
 	"strings"
 )
 
-// Metrics holds one benchmark's standard measurements.
+// Metrics holds one benchmark's standard measurements plus any custom
+// b.ReportMetric units (keyed by unit, e.g. "peak-heap-bytes").
 type Metrics struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_op"`
-	BytesPerOp  float64 `json:"b_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the schema of BENCH_engine.json.
@@ -52,6 +59,7 @@ func main() {
 func run() error {
 	mode := flag.String("mode", "compare", "baseline (record) or compare (diff against the recorded baseline)")
 	out := flag.String("out", "BENCH_engine.json", "performance record to write")
+	maxRegress := flag.Float64("max-regress", 0.20, "compare mode fails when ns/op or allocs/op regressed by more than this fraction")
 	flag.Parse()
 
 	parsed, err := parseBench(os.Stdin)
@@ -87,7 +95,7 @@ func run() error {
 			return err
 		}
 		printTable(os.Stdout, f)
-		return nil
+		return checkRegressions(os.Stdout, f, *maxRegress)
 	default:
 		return fmt.Errorf("unknown mode %q (want baseline or compare)", *mode)
 	}
@@ -99,8 +107,9 @@ func run() error {
 //	BenchmarkFig7Heavy-8  3  189104999 ns/op  141269792 B/op  886112 allocs/op
 //
 // The Benchmark prefix and -GOMAXPROCS suffix are stripped from the name;
-// sub-benchmarks keep their /sub path. Custom b.ReportMetric units are
-// ignored — only ns/op, B/op and allocs/op are recorded.
+// sub-benchmarks keep their /sub path. ns/op, B/op and allocs/op land in the
+// named fields; any other unit (custom b.ReportMetric output) is recorded
+// under Extra keyed by its unit string.
 func parseBench(r io.Reader) (map[string]Metrics, error) {
 	res := make(map[string]Metrics)
 	sc := bufio.NewScanner(r)
@@ -126,13 +135,18 @@ func parseBench(r io.Reader) (map[string]Metrics, error) {
 			if err != nil {
 				break
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				m.NsPerOp = v
 			case "B/op":
 				m.BytesPerOp = v
 			case "allocs/op":
 				m.AllocsPerOp = v
+			default: // custom b.ReportMetric units, e.g. peak-heap-bytes
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
 			}
 		}
 		if m.NsPerOp > 0 {
@@ -160,6 +174,11 @@ func speedups(baseline, current map[string]Metrics) map[string]map[string]float6
 		}
 		if b.BytesPerOp > 0 && c.BytesPerOp > 0 {
 			ratios["b_op"] = round3(b.BytesPerOp / c.BytesPerOp)
+		}
+		for unit, bv := range b.Extra {
+			if cv := c.Extra[unit]; bv > 0 && cv > 0 {
+				ratios[unit] = round3(bv / cv)
+			}
 		}
 		out[name] = ratios
 	}
@@ -190,6 +209,51 @@ func printTable(w io.Writer, f *File) {
 			fmt.Fprintf(w, "%-28s (no baseline recorded)\n", name)
 		}
 	}
+}
+
+// checkRegressions is compare mode's gate: any benchmark present in both
+// sections whose ns/op or allocs/op grew by more than maxRegress (a fraction;
+// 0.20 means 20%) fails the run. Offending rows print as a diff table so CI
+// logs show what regressed and by how much. A negative maxRegress disables
+// the gate.
+func checkRegressions(w io.Writer, f *File, maxRegress float64) error {
+	if maxRegress < 0 {
+		return nil
+	}
+	type row struct {
+		name, metric   string
+		base, cur, pct float64
+	}
+	var rows []row
+	names := make([]string, 0, len(f.Baseline))
+	for name := range f.Baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := f.Baseline[name]
+		c, ok := f.Current[name]
+		if !ok {
+			continue
+		}
+		check := func(metric string, bv, cv float64) {
+			if bv > 0 && cv > bv*(1+maxRegress) {
+				rows = append(rows, row{name, metric, bv, cv, 100 * (cv - bv) / bv})
+			}
+		}
+		check("ns/op", b.NsPerOp, c.NsPerOp)
+		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nREGRESSIONS (> %.0f%% over baseline):\n", 100*maxRegress)
+	fmt.Fprintf(w, "%-28s %-10s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "change")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-10s %14.0f %14.0f %+7.1f%%\n", r.name, r.metric, r.base, r.cur, r.pct)
+	}
+	return fmt.Errorf("%d metric(s) regressed by more than %.0f%% (re-baseline with `make bench-baseline` if intentional)",
+		len(rows), 100*maxRegress)
 }
 
 func readFile(path string) (*File, error) {

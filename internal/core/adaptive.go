@@ -247,12 +247,11 @@ func (a *Adaptive) refit() {
 	if err != nil {
 		return // keep the previous ladder; inputs were degenerate
 	}
-	a.inner.levels = levels
 	// Re-place live jobs from their current metric (placement under a fresh
-	// ladder; the demote-only rule applies from here on).
-	for id, metric := range a.attained { // range-ok: independent per-key writes, no accumulation
-		a.inner.queue[id] = levels.Placement(metric)
-	}
+	// ladder; the demote-only rule applies from here on). The wholesale
+	// re-placement invalidates the inner scheduler's incremental within-queue
+	// order, which it rebuilds on its next round.
+	a.inner.resetLevels(levels, a.attained)
 	a.sinceRefit = 0
 	a.refits++
 }

@@ -13,7 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"lasmq/internal/mlq"
 	"lasmq/internal/sched"
@@ -60,27 +60,54 @@ func DefaultConfig() Config {
 	}
 }
 
-// queueEntry is one job inside a queue, with its within-queue ordering keys
-// cached so sorting does not make interface calls.
-type queueEntry struct {
+// trackRec is the scheduler's persistent record of one job: the queue it
+// occupies plus the exact ordering key — (demand, seq) — its entry in that
+// queue's ordered list carries. Keeping the key cached is what makes the
+// incremental list maintenance possible: removal and repositioning locate
+// the entry by binary search on the stored key instead of scanning.
+type trackRec struct {
+	queue  int
+	demand float64
+	seq    int
+}
+
+// ordEntry is one job inside a queue's persistent within-queue order.
+type ordEntry struct {
 	demand float64 // RemainingDemand, the primary key under OrderByDemand
 	seq    int
-	job    sched.JobView
+	id     int
 }
 
 // LASMQ is the multilevel-queue scheduler. It is stateful: it remembers which
-// queue each job occupies across scheduling rounds. Use one instance per
-// simulation run; it is not safe for concurrent use.
+// queue each job occupies — and each queue's within-queue order — across
+// scheduling rounds. Use one instance per simulation run; it is not safe for
+// concurrent use.
+//
+// The within-queue order is maintained incrementally (Algorithm 1 line 10):
+// arrivals and demotions binary-insert into the target queue's persistent
+// ordered list, and a demand change that leaves a job in place only marks its
+// queue dirty. A dirty queue is re-checked for sortedness in one walk at the
+// next allocation round, and the sort fallback fires only when the changed
+// demands actually inverted the order — round-over-round, queues mostly stay
+// sorted, so the steady path is O(live jobs) with no sorting at all.
 type LASMQ struct {
 	cfg    Config
 	levels *mlq.Levels
-	queue  map[int]int // job ID -> current queue index
+
+	// Persistent incremental state: tracked mirrors every live job's queue
+	// and ordering key, ordered holds each queue's (demand, seq)-sorted
+	// entries, touched flags queues whose members changed demand in place,
+	// and orderValid gates the full-rebuild path (cleared when queue
+	// membership changes wholesale, e.g. an adaptive refit).
+	tracked    map[int]trackRec
+	ordered    [][]ordEntry
+	touched    []bool
+	orderValid bool
 
 	// Scratch buffers reused across rounds to keep large simulations
 	// allocation-free on the hot path.
 	seen      map[int]bool
 	remaining map[int]float64
-	perQueue  [][]queueEntry
 	weights   []float64
 }
 
@@ -102,13 +129,15 @@ func New(cfg Config) (*LASMQ, error) {
 		return nil, fmt.Errorf("core: queue weight decay must be >= 1, got %v", cfg.QueueWeightDecay)
 	}
 	return &LASMQ{
-		cfg:       cfg,
-		levels:    levels,
-		queue:     make(map[int]int),
-		seen:      make(map[int]bool),
-		remaining: make(map[int]float64),
-		perQueue:  make([][]queueEntry, cfg.Queues),
-		weights:   make([]float64, cfg.Queues),
+		cfg:        cfg,
+		levels:     levels,
+		tracked:    make(map[int]trackRec),
+		ordered:    make([][]ordEntry, cfg.Queues),
+		touched:    make([]bool, cfg.Queues),
+		orderValid: true,
+		seen:       make(map[int]bool),
+		remaining:  make(map[int]float64),
+		weights:    make([]float64, cfg.Queues),
 	}, nil
 }
 
@@ -122,18 +151,32 @@ func (s *LASMQ) Config() Config { return s.cfg }
 // whether the job is known to the scheduler. Exposed for tests and
 // instrumentation.
 func (s *LASMQ) QueueOf(jobID int) (int, bool) {
-	q, ok := s.queue[jobID]
-	return q, ok
+	rec, ok := s.tracked[jobID]
+	return rec.queue, ok
 }
 
 // QueueSizes returns the current number of tracked jobs per queue, for
 // instrumentation (e.g. occupancy timelines).
 func (s *LASMQ) QueueSizes() []int {
 	sizes := make([]int, s.levels.Queues())
-	for _, q := range s.queue {
-		sizes[q]++
+	for _, rec := range s.tracked {
+		sizes[rec.queue]++
 	}
 	return sizes
+}
+
+// resetLevels installs a freshly fitted threshold ladder and re-places every
+// job in metrics under it (placement, not demote-only). Queue membership
+// changes wholesale, so the persistent within-queue order is invalidated and
+// rebuilt from the next round's views. Used by the adaptive wrapper's refit.
+func (s *LASMQ) resetLevels(levels *mlq.Levels, metrics map[int]float64) {
+	s.levels = levels
+	for id, metric := range metrics { // range-ok: independent per-key writes, no accumulation
+		rec := s.tracked[id]
+		rec.queue = levels.Placement(metric)
+		s.tracked[id] = rec
+	}
+	s.orderValid = false
 }
 
 // metric returns the service value used for demotion decisions.
@@ -159,18 +202,7 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 // deterministic in the current metric, so observing twice at one instant is
 // the same as observing once.
 func (s *LASMQ) Observe(now float64, jobs []sched.JobView) {
-	seen := s.seen
-	clear(seen)
-	for _, j := range jobs {
-		id := j.ID()
-		seen[id] = true
-		s.queue[id] = s.levels.Demote(s.queue[id], s.metric(j))
-	}
-	for id := range s.queue {
-		if !seen[id] {
-			delete(s.queue, id)
-		}
-	}
+	s.sweep(jobs)
 }
 
 // ObserveHorizon implements sched.ObserveHinter: after an Observe every
@@ -183,11 +215,11 @@ func (s *LASMQ) Observe(now float64, jobs []sched.JobView) {
 func (s *LASMQ) ObserveHorizon(now float64, jobs []sched.JobView, rates sched.Assignment) float64 {
 	horizon := math.Inf(1)
 	for _, j := range jobs {
-		q, ok := s.queue[j.ID()]
+		rec, ok := s.tracked[j.ID()]
 		if !ok {
 			return now // not yet observed; cannot bound
 		}
-		threshold := s.levels.Threshold(q)
+		threshold := s.levels.Threshold(rec.queue)
 		if math.IsInf(threshold, 1) {
 			continue // last queue: never demoted again
 		}
@@ -216,43 +248,10 @@ func (s *LASMQ) ObserveHorizon(now float64, jobs []sched.JobView, rates sched.As
 func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, out sched.Assignment) {
 	k := s.levels.Queues()
 
-	// Algorithm 1: update queue membership (demote-only) and drop state for
-	// jobs that have left the system.
-	seen := s.seen
-	clear(seen)
-	perQueue := s.perQueue
-	for i := range perQueue {
-		perQueue[i] = perQueue[i][:0]
-	}
-	for _, j := range jobs {
-		id := j.ID()
-		seen[id] = true
-		q := s.levels.Demote(s.queue[id], s.metric(j))
-		s.queue[id] = q
-		perQueue[q] = append(perQueue[q], queueEntry{demand: j.RemainingDemand(), seq: j.Seq(), job: j})
-	}
-	for id := range s.queue {
-		if !seen[id] {
-			delete(s.queue, id)
-		}
-	}
-
-	// Algorithm 1 line 10: order each queue. Entries arrive in view order,
-	// which is already the final order in the common round-over-round case, so
-	// a linear sortedness check avoids most sort calls. Sequence numbers are
-	// unique, making the order total (stability is irrelevant).
-	for _, q := range perQueue {
-		sorted := true
-		for i := 1; i < len(q); i++ {
-			if s.entryLess(q[i], q[i-1]) {
-				sorted = false
-				break
-			}
-		}
-		if !sorted {
-			sort.Slice(q, func(i, j int) bool { return s.entryLess(q[i], q[j]) })
-		}
-	}
+	// Algorithm 1: demote-only queue updates, arrivals, departures, and the
+	// incremental within-queue order maintenance (line 10).
+	s.sweep(jobs)
+	s.restoreOrder()
 
 	// Algorithm 2 line 1: split capacity across non-empty queues by weight.
 	weights := s.weights[:k]
@@ -260,7 +259,7 @@ func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, 
 	w := 1.0
 	for i := 0; i < k; i++ {
 		weights[i] = 0
-		if len(perQueue[i]) > 0 {
+		if len(s.ordered[i]) > 0 {
 			weights[i] = w
 			totalWeight += w
 		}
@@ -284,18 +283,17 @@ func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, 
 	leftover := 0.0
 	for i := 0; i < k; i++ {
 		budget := capacity * weights[i] / totalWeight
-		for _, e := range perQueue[i] {
+		for _, e := range s.ordered[i] {
 			if budget <= 0 {
 				break
 			}
-			id := e.job.ID()
-			d := remaining[id]
+			d := remaining[e.id]
 			if d <= 0 {
 				continue
 			}
 			x := math.Min(budget, d)
-			out[id] += x
-			remaining[id] -= x
+			out[e.id] += x
+			remaining[e.id] -= x
 			budget -= x
 		}
 		leftover += budget
@@ -304,29 +302,219 @@ func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, 
 	// Algorithm 2 line 13 (work conservation): spill leftover capacity to any
 	// job with unmet demand, highest-priority queues first.
 	for i := 0; i < k && leftover > 1e-12; i++ {
-		for _, e := range perQueue[i] {
+		for _, e := range s.ordered[i] {
 			if leftover <= 1e-12 {
 				break
 			}
-			id := e.job.ID()
-			d := remaining[id]
+			d := remaining[e.id]
 			if d <= 0 {
 				continue
 			}
 			x := math.Min(leftover, d)
-			out[id] += x
-			remaining[id] -= x
+			out[e.id] += x
+			remaining[e.id] -= x
 			leftover -= x
 		}
 	}
 }
 
-// entryLess orders jobs within one queue (Algorithm 1 line 10).
-func (s *LASMQ) entryLess(a, b queueEntry) bool {
+// sweep applies Algorithm 1's per-round state mutation over the current job
+// views: demote-only queue updates, binary insertion of arrivals and demoted
+// jobs, removal of departed jobs, and in-place demand refresh (which marks
+// the queue dirty instead of re-sorting eagerly). Shared by Observe and
+// AssignInto so skipped rounds keep the persistent order exactly in sync.
+func (s *LASMQ) sweep(jobs []sched.JobView) {
+	if !s.orderValid {
+		s.rebuild(jobs)
+		return
+	}
+	seen := s.seen
+	clear(seen)
+	for _, j := range jobs {
+		id := j.ID()
+		seen[id] = true
+		m := s.metric(j)
+		rec, ok := s.tracked[id]
+		if !ok {
+			// Arrival: place from the top queue and binary-insert.
+			d, seq := j.RemainingDemand(), j.Seq()
+			q := s.levels.Demote(0, m)
+			s.insertEntry(q, ordEntry{demand: d, seq: seq, id: id})
+			s.tracked[id] = trackRec{queue: q, demand: d, seq: seq}
+			continue
+		}
+		q := s.levels.Demote(rec.queue, m)
+		d := j.RemainingDemand()
+		if q != rec.queue {
+			// Demotion: move the entry between queue lists by its stored key.
+			s.removeEntry(rec.queue, rec, id)
+			s.insertEntry(q, ordEntry{demand: d, seq: rec.seq, id: id})
+			s.tracked[id] = trackRec{queue: q, demand: d, seq: rec.seq}
+			continue
+		}
+		if s.cfg.OrderByDemand && d != rec.demand {
+			// Demand changed but the job stays put: refresh the entry's key in
+			// place and defer the (usually unnecessary) re-sort to
+			// restoreOrder's single sortedness walk.
+			if pos := s.findEntry(rec.queue, rec, id); pos >= 0 {
+				s.ordered[rec.queue][pos].demand = d
+			}
+			s.touched[rec.queue] = true
+			rec.demand = d
+			s.tracked[id] = rec
+		}
+	}
+	for id, rec := range s.tracked { // range-ok: per-id removal, no accumulation
+		if !seen[id] {
+			s.removeEntry(rec.queue, rec, id)
+			delete(s.tracked, id)
+		}
+	}
+}
+
+// rebuild reconstructs every queue's ordered list from scratch — the cold
+// path, taken after resetLevels invalidates the order wholesale.
+func (s *LASMQ) rebuild(jobs []sched.JobView) {
+	for i := range s.ordered {
+		s.ordered[i] = s.ordered[i][:0]
+		s.touched[i] = false
+	}
+	seen := s.seen
+	clear(seen)
+	for _, j := range jobs {
+		id := j.ID()
+		seen[id] = true
+		rec := s.tracked[id] // zero record places arrivals from the top queue
+		q := s.levels.Demote(rec.queue, s.metric(j))
+		d, seq := j.RemainingDemand(), j.Seq()
+		s.tracked[id] = trackRec{queue: q, demand: d, seq: seq}
+		s.ordered[q] = append(s.ordered[q], ordEntry{demand: d, seq: seq, id: id})
+	}
+	for id := range s.tracked {
+		if !seen[id] {
+			delete(s.tracked, id)
+		}
+	}
+	for i := range s.ordered {
+		if !s.isSorted(s.ordered[i]) {
+			s.sortList(s.ordered[i])
+		}
+	}
+	s.orderValid = true
+}
+
+// restoreOrder re-checks the queues whose members changed demand in place
+// since the last allocation round. One linear walk per dirty queue; the sort
+// fallback fires only when the demand changes actually inverted the order.
+func (s *LASMQ) restoreOrder() {
+	for q := range s.touched {
+		if !s.touched[q] {
+			continue
+		}
+		s.touched[q] = false
+		if !s.isSorted(s.ordered[q]) {
+			s.sortList(s.ordered[q])
+		}
+	}
+}
+
+// insertEntry binary-inserts e into queue q's ordered list. Inserting into a
+// dirty (touched) list may place e imprecisely; restoreOrder repairs that
+// before the order is ever read.
+func (s *LASMQ) insertEntry(q int, e ordEntry) {
+	list := s.ordered[q]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.entryLess(list[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	list = append(list, ordEntry{})
+	copy(list[lo+1:], list[lo:])
+	list[lo] = e
+	s.ordered[q] = list
+}
+
+// findEntry locates the job's entry in queue q by its stored key, falling
+// back to a linear scan when the list is dirty. Returns -1 if absent.
+func (s *LASMQ) findEntry(q int, rec trackRec, id int) int {
+	list := s.ordered[q]
+	key := ordEntry{demand: rec.demand, seq: rec.seq, id: id}
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.entryLess(list[mid], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo].id == id {
+		return lo
+	}
+	for i := range list {
+		if list[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeEntry deletes the job's entry from queue q's ordered list.
+func (s *LASMQ) removeEntry(q int, rec trackRec, id int) {
+	if pos := s.findEntry(q, rec, id); pos >= 0 {
+		list := s.ordered[q]
+		copy(list[pos:], list[pos+1:])
+		s.ordered[q] = list[:len(list)-1]
+	}
+}
+
+// entryLess orders jobs within one queue (Algorithm 1 line 10). Sequence
+// numbers are unique, making the order total (stability is irrelevant).
+func (s *LASMQ) entryLess(a, b ordEntry) bool {
 	if s.cfg.OrderByDemand && a.demand != b.demand {
 		return a.demand < b.demand
 	}
 	return a.seq < b.seq
+}
+
+func (s *LASMQ) isSorted(list []ordEntry) bool {
+	for i := 1; i < len(list); i++ {
+		if s.entryLess(list[i], list[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortList is the metric-inversion fallback. Capture-free comparators keep
+// the (rare) path allocation-free.
+func (s *LASMQ) sortList(list []ordEntry) {
+	if s.cfg.OrderByDemand {
+		slices.SortFunc(list, compareDemandSeq)
+	} else {
+		slices.SortFunc(list, compareSeq)
+	}
+}
+
+func compareDemandSeq(a, b ordEntry) int {
+	if a.demand != b.demand {
+		if a.demand < b.demand {
+			return -1
+		}
+		return 1
+	}
+	return compareSeq(a, b)
+}
+
+func compareSeq(a, b ordEntry) int {
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
 }
 
 // Horizon implements sched.Hinter: the decision can change before the next
@@ -340,11 +528,11 @@ func (s *LASMQ) Horizon(now float64, jobs []sched.JobView, alloc sched.Assignmen
 		if rate <= 0 {
 			continue
 		}
-		q, ok := s.queue[j.ID()]
+		rec, ok := s.tracked[j.ID()]
 		if !ok {
 			continue
 		}
-		threshold := s.levels.Threshold(q)
+		threshold := s.levels.Threshold(rec.queue)
 		if math.IsInf(threshold, 1) {
 			continue // last queue: never demoted again
 		}

@@ -13,7 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
@@ -141,6 +141,7 @@ func Run(specs []job.Spec, policy sched.Scheduler, cfg Config) (*Result, error) 
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	s := newSim(specs, policy, cfg)
+	defer s.release()
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -180,32 +181,22 @@ type sim struct {
 	rng *rand.Rand
 
 	// Kernel modules: policy capability dispatch and observation gating
-	// (driver), the FIFO admission module (adm), and the per-round view
-	// registry with its demand/rate-bound side maps (vs).
+	// (driver) and the FIFO admission module (adm). The embedded arena holds
+	// the slab-allocated job/stage/task/attempt state, the event queue, the
+	// view registry (vs) and the round-local scratch; it is pooled, so
+	// repeated runs on one worker reuse the same storage.
 	driver *substrate.Driver
 	adm    *substrate.Queue[*jobState]
-	vs     substrate.ViewSet
+	*arena
 
-	jobs     map[int]*jobState
-	order    []int // job IDs in workload order (deterministic iteration)
-	attempts []*attempt
-
-	queue      eventHeap
 	remaining  int // jobs not yet completed
 	usedSlots  int // containers currently occupied
 	readySlots int // containers needed by ready tasks of admitted jobs
 	now        float64
 	makespan   float64
 
-	// Round-local scratch reused across scheduling rounds.
-	batchBuf  []event
-	quant     sched.Quantizer
-	cands     []launchCand
-	specCands []specCand
-
 	busyIntegral float64 // container-seconds delivered (for utilization)
 	peakUsage    int
-	timeline     []Sample
 	lastSample   float64
 }
 
@@ -224,21 +215,29 @@ type specCand struct {
 }
 
 func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
+	ar := arenaPool.Get().(*arena)
+	ar.build(specs)
 	s := &sim{
 		cfg:       cfg,
 		driver:    substrate.NewDriver(policy),
 		adm:       substrate.NewQueue[*jobState](cfg.MaxRunningJobs),
 		rng:       dist.New(cfg.Seed),
-		jobs:      make(map[int]*jobState, len(specs)),
+		arena:     ar,
 		remaining: len(specs),
 	}
 	for i := range specs {
-		js := newJobState(&specs[i])
-		s.jobs[js.spec.ID] = js
-		s.order = append(s.order, js.spec.ID)
 		s.queue.push(specs[i].Arrival, event{kind: evArrival, jobID: specs[i].ID})
 	}
 	return s
+}
+
+// release scrubs the sim's arena and returns it to the pool. The sim must
+// not be used afterwards.
+func (s *sim) release() {
+	ar := s.arena
+	s.arena = nil
+	ar.scrub()
+	arenaPool.Put(ar)
 }
 
 func (s *sim) run() error {
@@ -289,7 +288,7 @@ func (s *sim) sample() {
 }
 
 func (s *sim) handleArrival(jobID int) {
-	js := s.jobs[jobID]
+	js := s.byID[jobID]
 	js.arrived = true
 	s.adm.Push(js)
 }
@@ -307,12 +306,12 @@ func (s *sim) admit() {
 }
 
 func (s *sim) handleAttemptDone(attemptID int) {
-	a := s.attempts[attemptID]
+	a := &s.attempts[attemptID]
 	if a.ended {
 		return // killed earlier (a speculative sibling won)
 	}
 	s.finishAttempt(a)
-	js := s.jobs[a.jobID]
+	js := s.byID[a.jobID]
 	st := &js.stages[a.stage]
 	task := &st.tasks[a.task]
 	task.runningAttempts--
@@ -335,7 +334,7 @@ func (s *sim) handleAttemptDone(attemptID int) {
 
 	// Kill the remaining sibling attempts of the completed task.
 	for _, sibID := range task.attemptIDs {
-		sib := s.attempts[sibID]
+		sib := &s.attempts[sibID]
 		if !sib.ended {
 			s.finishAttempt(sib)
 			task.runningAttempts--
@@ -360,7 +359,7 @@ func (s *sim) requeueTask(st *stageState, taskIdx int) {
 func (s *sim) finishAttempt(a *attempt) {
 	a.ended = true
 	consumed := float64(a.containers) * (s.now - a.start)
-	js := s.jobs[a.jobID]
+	js := s.byID[a.jobID]
 	st := &js.stages[a.stage]
 
 	js.finalizedService += consumed
@@ -443,7 +442,7 @@ func (s *sim) schedule() {
 	// every freed container and starve multi-container tasks indefinitely.
 	cands := s.cands[:0]
 	for _, id := range s.order {
-		js := s.jobs[id]
+		js := s.byID[id]
 		if !js.schedulable() {
 			continue
 		}
@@ -453,14 +452,21 @@ func (s *sim) schedule() {
 	}
 	s.cands = cands
 	// The comparator is a total order (admission sequences are unique), so an
-	// unstable sort is deterministic.
-	sort.Slice(cands, func(i, j int) bool {
-		di := cands[i].target - cands[i].js.usage
-		dj := cands[j].target - cands[j].js.usage
-		if di != dj {
-			return di > dj
+	// unstable sort is deterministic. slices.SortFunc with a capture-free
+	// comparator keeps the round allocation free, unlike sort.Slice.
+	slices.SortFunc(cands, func(a, b launchCand) int {
+		da := a.target - a.js.usage
+		db := b.target - b.js.usage
+		if da != db {
+			if da > db {
+				return -1
+			}
+			return 1
 		}
-		return cands[i].js.seq < cands[j].js.seq
+		if a.js.seq < b.js.seq {
+			return -1
+		}
+		return 1
 	})
 	reserved := 0
 	for _, c := range cands {
@@ -487,7 +493,7 @@ func (s *sim) schedule() {
 	for progress && s.usedSlots+reserved < s.cfg.Containers {
 		progress = false
 		for _, id := range s.order {
-			js := s.jobs[id]
+			js := s.byID[id]
 			if !js.schedulable() {
 				continue
 			}
@@ -558,8 +564,11 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		}
 	}
 
-	a := &attempt{
-		id:          len(s.attempts),
+	// Value append into the attempt slab; take the pointer only after the
+	// append (a slab growth would strand a pre-append pointer).
+	id := len(s.attempts)
+	s.attempts = append(s.attempts, attempt{
+		id:          id,
 		jobID:       js.spec.ID,
 		stage:       stage,
 		task:        taskIdx,
@@ -567,11 +576,11 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		start:       s.now,
 		success:     success,
 		speculative: speculative,
-	}
+	})
+	a := &s.attempts[id]
 	if !speculative {
 		a.invDur = 1 / duration
 	}
-	s.attempts = append(s.attempts, a)
 	task.attemptIDs = append(task.attemptIDs, a.id)
 	task.runningAttempts++
 	js.attempts++
@@ -600,7 +609,7 @@ func (s *sim) speculate(reserved int) {
 	}
 	cands := s.specCands[:0]
 	for _, id := range s.order {
-		js := s.jobs[id]
+		js := s.byID[id]
 		if !js.schedulable() {
 			continue
 		}
@@ -650,7 +659,7 @@ func (s *sim) speculate(reserved int) {
 func (s *sim) collectViews(withDemand, withRates bool) {
 	s.vs.Begin(withDemand, withRates)
 	for _, id := range s.order {
-		js := s.jobs[id]
+		js := s.byID[id]
 		if !js.schedulable() {
 			continue
 		}
@@ -668,7 +677,11 @@ func (s *sim) collectViews(withDemand, withRates bool) {
 func (s *sim) result() *Result {
 	res := &Result{
 		PeakUsage: s.peakUsage,
-		Timeline:  s.timeline,
+	}
+	// The timeline must be copied out: its backing array belongs to the
+	// pooled arena and is reused by the next run.
+	if len(s.timeline) > 0 {
+		res.Timeline = append([]Sample(nil), s.timeline...)
 	}
 	res.Scheduler = s.driver.Name()
 	res.Makespan = s.makespan
@@ -676,7 +689,7 @@ func (s *sim) result() *Result {
 		res.Utilization = s.busyIntegral / (s.makespan * float64(s.cfg.Containers))
 	}
 	for _, id := range s.order {
-		js := s.jobs[id]
+		js := s.byID[id]
 		res.Jobs = append(res.Jobs, JobResult{
 			ID:           js.spec.ID,
 			Name:         js.spec.Name,

@@ -1,0 +1,107 @@
+package engine
+
+// White-box proof that the event-queue migration is invisible: a run forced
+// onto the ladder queue from (nearly) the first event must produce a Result
+// byte-identical to the default run, which stays on the binary heap for
+// workloads this small. Together with the eventq differential fuzz this pins
+// the engine-level selection logic, not just the queue in isolation.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lasmq/internal/core"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// ladderSpecs builds a bursty mixed workload whose arrivals are quantized to
+// half-units, so many events carry exactly equal timestamps and the
+// equal-time FIFO contract is load-bearing.
+func ladderSpecs(seed int64, n int) []job.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]job.Spec, 0, n)
+	var arrival float64
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.25 {
+			arrival += float64(rng.Intn(60)) / 2 // idle gap, keeps ties exact
+		}
+		nt := 1 + rng.Intn(10)
+		tasks := make([]job.TaskSpec, nt)
+		for t := range tasks {
+			tasks[t] = job.TaskSpec{Duration: float64(1+rng.Intn(20)) / 2, Containers: 1}
+		}
+		spec := job.Spec{
+			ID:      i + 1,
+			Bin:     i%3 + 1,
+			Arrival: arrival,
+			Stages:  []job.StageSpec{{Name: "map", Tasks: tasks}},
+		}
+		if i%3 == 1 {
+			spec.Stages = append(spec.Stages, job.StageSpec{
+				Name:  "reduce",
+				Tasks: []job.TaskSpec{{Duration: float64(2 + rng.Intn(8)), Containers: 2}},
+			})
+		}
+		specs = append(specs, spec)
+		arrival += float64(rng.Intn(4)) / 2
+	}
+	return specs
+}
+
+func TestLadderQueueByteIdentical(t *testing.T) {
+	policies := map[string]func() sched.Scheduler{
+		"FIFO": func() sched.Scheduler { return sched.NewFIFO() },
+		"Fair": func() sched.Scheduler { return sched.NewFair() },
+		"LASMQ": func() sched.Scheduler {
+			mq, err := core.New(core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mq
+		},
+	}
+	configs := map[string]func(*Config){
+		"clean": func(*Config) {},
+		"noisy": func(c *Config) {
+			c.Containers = 24
+			c.MaxRunningJobs = 6
+			c.FailureProb = 0.1
+			c.StragglerProb = 0.1
+			c.Speculation = true
+			c.SampleInterval = 5
+		},
+	}
+	for pname, mk := range policies {
+		for cname, tweak := range configs {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", pname, cname, seed), func(t *testing.T) {
+					specs := ladderSpecs(seed, 60)
+					cfg := DefaultConfig()
+					tweak(&cfg)
+					cfg.Seed = seed
+
+					run := func(threshold int) *Result {
+						t.Helper()
+						old := ladderThreshold
+						ladderThreshold = threshold
+						defer func() { ladderThreshold = old }()
+						res, err := Run(specs, mk(), cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					heapRes := run(1 << 30) // never migrate
+					ladderRes := run(2)     // migrate almost immediately
+					if !reflect.DeepEqual(heapRes, ladderRes) {
+						t.Fatalf("ladder run diverged from heap run:\nheap:   %+v\nladder: %+v",
+							heapRes, ladderRes)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,12 +1,18 @@
 package engine
 
 import (
+	"sync"
+
 	"lasmq/internal/eventq"
 	"lasmq/internal/job"
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 )
 
 // attempt is one execution attempt of a task on physical containers.
+// Attempts live in the arena's flat slab and are addressed by index; the
+// slab grows during a run, so pointers into it must not be held across a
+// launchAttempt call.
 type attempt struct {
 	id          int
 	jobID       int
@@ -107,7 +113,8 @@ func (st *stageState) progress(now float64) float64 {
 	return p
 }
 
-// jobState is the runtime state of one job.
+// jobState is the runtime state of one job. Job states live in the arena's
+// fixed-length slab, so pointers to them are stable for the whole run.
 type jobState struct {
 	spec *job.Spec
 
@@ -135,32 +142,6 @@ type jobState struct {
 	// view is the job's persistent sched.JobView adapter, re-stamped with the
 	// current time each round instead of allocated anew.
 	view jobView
-}
-
-func newJobState(spec *job.Spec) *jobState {
-	js := &jobState{spec: spec}
-	js.view.js = js
-	js.stages = make([]stageState, len(spec.Stages))
-	for i := range spec.Stages {
-		st := &js.stages[i]
-		st.spec = &spec.Stages[i]
-		st.tasks = make([]taskState, len(st.spec.Tasks))
-		for ti := range st.spec.Tasks {
-			st.tasks[ti].spec = st.spec.Tasks[ti]
-			st.totalContainers += st.spec.Tasks[ti].Containers
-		}
-		for _, dep := range spec.Deps(i) {
-			st.remainingDeps++
-			js.stages[dep].dependents = append(js.stages[dep].dependents, i)
-		}
-	}
-	// Root stages (no dependencies) are ready once the job is admitted.
-	for i := range js.stages {
-		if js.stages[i].remainingDeps == 0 {
-			js.activateStage(i)
-		}
-	}
-	return js
 }
 
 // activateStage unlocks a stage: its tasks become ready.
@@ -272,17 +253,185 @@ func (v *jobView) RemainingSizeHint() float64 {
 	return rem
 }
 
-// eventHeap wraps the generic event queue with same-timestamp batching so a
-// burst of simultaneous completions triggers a single scheduling round.
+// ladderThreshold is the pending-event population at which the engine's
+// event queue migrates from the binary heap to the bucketed ladder queue:
+// small simulations keep the heap's simplicity, large traces (whose arrival
+// events are all pushed up front) get O(1) amortized event handling. A var
+// so the equivalence test can force the migration on small workloads.
+var ladderThreshold = 4096
+
+// eventHeap wraps the two event-queue implementations behind one push/pop
+// surface with same-timestamp batching, so a burst of simultaneous
+// completions triggers a single scheduling round. It starts on the binary
+// heap and migrates — once, irreversibly for the run — to the ladder queue
+// when the pending population crosses ladderThreshold.
 type eventHeap struct {
-	q eventq.Queue[event]
+	heap      eventq.Queue[event]
+	ladder    eventq.Ladder[event]
+	useLadder bool
 }
 
-func (h *eventHeap) push(t float64, ev event) { h.q.Push(t, ev) }
+func (h *eventHeap) push(t float64, ev event) {
+	if !h.useLadder {
+		if h.heap.Len() < ladderThreshold {
+			h.heap.Push(t, ev)
+			return
+		}
+		h.migrate()
+	}
+	h.ladder.Push(t, ev)
+}
+
+// migrate drains the heap into the ladder in delivery order. The re-pushes
+// receive fresh, increasing sequence numbers in exactly the old (time, seq)
+// order, and every later push sequences after them, so delivery order is
+// preserved bit for bit across the migration.
+func (h *eventHeap) migrate() {
+	for {
+		t, ev, ok := h.heap.Pop()
+		if !ok {
+			break
+		}
+		h.ladder.Push(t, ev)
+	}
+	h.useLadder = true
+}
 
 // popBatch drains all events sharing the earliest timestamp into buf
 // (reusing its backing array), so the simulator's per-iteration batch is
 // allocation-free in steady state.
 func (h *eventHeap) popBatch(buf []event) (float64, []event, bool) {
-	return h.q.PopBatch(buf)
+	if h.useLadder {
+		return h.ladder.PopBatch(buf)
+	}
+	return h.heap.PopBatch(buf)
+}
+
+// reset empties both queues, keeping their backing arrays for the next run.
+func (h *eventHeap) reset() {
+	h.heap.Reset()
+	h.ladder.Reset()
+	h.useLadder = false
+}
+
+// arena is the slab-allocated simulation state: jobs, stages, tasks and
+// attempts live in flat, index-addressed slices partitioned into
+// per-job/per-stage subslices, and every piece of round-local scratch keeps
+// its backing storage. Arenas are pooled, so repeated runs — the replication
+// engine fanning one experiment over many seeds, a benchmark loop — reuse
+// one arena per worker instead of re-allocating the per-run state from
+// scratch (the former per-run `make` storm).
+type arena struct {
+	jobs   []jobState
+	stages []stageState // flat; jobState.stages are full-capacity subslices
+	tasks  []taskState  // flat; stageState.tasks are full-capacity subslices
+	// ints backs the small per-stage/per-task index lists (ready queues,
+	// active-stage lists, the one-attempt common case of attemptIDs). Each
+	// carve is a zero-length, capacity-bounded subslice: appends fill it in
+	// place and a rare overflow (task retries) spills to the heap safely.
+	ints     []int
+	attempts []attempt // value slab; grows by append during the run
+
+	byID  map[int]*jobState // job ID -> slab entry (pointers are stable)
+	order []int             // job IDs in workload order (deterministic iteration)
+
+	queue eventHeap
+	vs    substrate.ViewSet
+
+	// Round-local scratch reused across scheduling rounds.
+	batchBuf  []event
+	quant     sched.Quantizer
+	cands     []launchCand
+	specCands []specCand
+
+	timeline []Sample
+}
+
+// arenaPool recycles simulation arenas across runs; each concurrent worker
+// effectively owns one.
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// build lays the workload out in the arena's slabs. Subslices are carved
+// with their capacity pinned (three-index slices), so a neighbor can never
+// be overwritten by an append.
+func (a *arena) build(specs []job.Spec) {
+	nStages, nTasks := 0, 0
+	for i := range specs {
+		nStages += len(specs[i].Stages)
+		for si := range specs[i].Stages {
+			nTasks += len(specs[i].Stages[si].Tasks)
+		}
+	}
+	a.jobs = substrate.GrowSlab(a.jobs, len(specs))
+	a.stages = substrate.GrowSlab(a.stages, nStages)
+	a.tasks = substrate.GrowSlab(a.tasks, nTasks)
+	a.ints = substrate.GrowSlab(a.ints, nStages+2*nTasks)
+	if cap(a.attempts) < nTasks {
+		a.attempts = make([]attempt, 0, nTasks)
+	} else {
+		a.attempts = a.attempts[:0]
+	}
+	if a.byID == nil {
+		a.byID = make(map[int]*jobState, len(specs))
+	} else {
+		clear(a.byID)
+	}
+	a.order = a.order[:0]
+	a.queue.reset()
+	a.timeline = a.timeline[:0]
+
+	stageOff, taskOff, intOff := 0, 0, 0
+	carve := func(n int) []int {
+		b := a.ints[intOff : intOff : intOff+n]
+		intOff += n
+		return b
+	}
+	for i := range specs {
+		spec := &specs[i]
+		js := &a.jobs[i]
+		js.spec = spec
+		js.view.js = js
+		ns := len(spec.Stages)
+		js.stages = a.stages[stageOff : stageOff+ns : stageOff+ns]
+		stageOff += ns
+		js.activeStages = carve(ns)
+		for si := range spec.Stages {
+			st := &js.stages[si]
+			st.spec = &spec.Stages[si]
+			nt := len(st.spec.Tasks)
+			st.tasks = a.tasks[taskOff : taskOff+nt : taskOff+nt]
+			taskOff += nt
+			for ti := range st.spec.Tasks {
+				task := &st.tasks[ti]
+				task.spec = st.spec.Tasks[ti]
+				task.attemptIDs = carve(1)
+				st.totalContainers += task.spec.Containers
+			}
+			st.readyIdx = carve(nt)
+			for _, dep := range spec.Deps(si) {
+				st.remainingDeps++
+				js.stages[dep].dependents = append(js.stages[dep].dependents, si)
+			}
+		}
+		// Root stages (no dependencies) are ready once the job is admitted.
+		for si := range js.stages {
+			if js.stages[si].remainingDeps == 0 {
+				js.activateStage(si)
+			}
+		}
+		a.byID[spec.ID] = js
+		a.order = append(a.order, spec.ID)
+	}
+}
+
+// scrub zeroes the slabs that hold references into caller-owned memory (the
+// job specs), so a pooled arena cannot pin a workload after its run, and
+// empties the event queue and view registry.
+func (a *arena) scrub() {
+	clear(a.jobs)
+	clear(a.stages)
+	clear(a.tasks)
+	clear(a.byID)
+	a.queue.reset()
+	a.vs.Reset()
 }

@@ -39,6 +39,17 @@ func (q *Queue[T]) Peek() (time float64, value T, ok bool) {
 // Pop removes and returns the earliest event. ok is false if the queue is
 // empty.
 func (q *Queue[T]) Pop() (time float64, value T, ok bool) {
+	time, value, ok = q.popNoShrink()
+	if ok {
+		q.shrink()
+	}
+	return time, value, ok
+}
+
+// popNoShrink is Pop without the capacity check, so batch drains can defer
+// the (reallocating) shrink until the whole batch is out instead of paying a
+// quarter-capacity copy on every element.
+func (q *Queue[T]) popNoShrink() (time float64, value T, ok bool) {
 	if len(q.items) == 0 {
 		var zero T
 		return 0, zero, false
@@ -50,17 +61,17 @@ func (q *Queue[T]) Pop() (time float64, value T, ok bool) {
 	if last > 0 {
 		q.down(0)
 	}
-	q.shrink()
 	return top.time, top.value, true
 }
 
 // PopBatch removes every event sharing the earliest timestamp and appends
 // them, in insertion order, to buf[:0] — so callers can reuse one buffer
 // across calls instead of allocating a slice per batch. ok is false if the
-// queue is empty.
+// queue is empty. The backing array is shrunk at most once per batch, after
+// the last element is out.
 func (q *Queue[T]) PopBatch(buf []T) (time float64, batch []T, ok bool) {
 	batch = buf[:0]
-	t, first, ok := q.Pop()
+	t, first, ok := q.popNoShrink()
 	if !ok {
 		return 0, batch, false
 	}
@@ -68,11 +79,21 @@ func (q *Queue[T]) PopBatch(buf []T) (time float64, batch []T, ok bool) {
 	for {
 		nt, _, ok := q.Peek()
 		if !ok || nt != t {
+			q.shrink()
 			return t, batch, true
 		}
-		_, v, _ := q.Pop()
+		_, v, _ := q.popNoShrink()
 		batch = append(batch, v)
 	}
+}
+
+// Reset empties the queue while keeping its backing array, so one Queue can
+// be reused across simulation runs. The insertion-sequence counter restarts,
+// making a reset queue indistinguishable from a fresh one.
+func (q *Queue[T]) Reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+	q.seq = 0
 }
 
 // shrinkMin is the capacity below which the heap's backing array is never

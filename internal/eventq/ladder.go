@@ -1,0 +1,275 @@
+package eventq
+
+import "slices"
+
+// ladderRungs is the number of buckets the pending span is split into at
+// each rebase. Wider than the simulators' per-instant batch sizes, narrow
+// enough that a rung's sort stays cache-resident.
+const ladderRungs = 64
+
+// Ladder is a bucketed ("ladder"/calendar) event queue with the same
+// (time, insertion-sequence) delivery contract as Queue: events come out in
+// nondecreasing time order and events with equal timestamps come out in
+// insertion order. The zero value is an empty queue ready to use.
+//
+// The structure targets the simulators' mostly-monotone event pattern —
+// pushes land at or after the current virtual time, most of them well after
+// it. Far-future events are appended unsorted to coarse buckets (rungs) or,
+// beyond the bucketed span, to an overflow list, both O(1); only the rung
+// currently being drained is sorted, once, when it becomes the active
+// segment. Pushes that land inside the active segment's span binary-insert
+// into it. Amortized cost per event is O(1) plus its share of one
+// O(k log k) rung sort, versus the binary heap's O(log n) per operation on
+// the whole pending population.
+type Ladder[T any] struct {
+	seq uint64
+	n   int
+
+	// cur is the sorted active segment; live entries are cur[head:]. Events
+	// with time < curEnd belong here and binary-insert on push.
+	cur    []entry[T]
+	head   int
+	curEnd float64
+
+	// rungs hold unsorted future events: rung i spans
+	// [base+width*i, base+width*(i+1)); rungIdx is the next rung to activate.
+	// Events at or past spanEnd = base+width*len(rungs) go to overflow, which
+	// is redistributed into fresh rungs once everything earlier has drained.
+	rungs    [][]entry[T]
+	rungIdx  int
+	base     float64
+	width    float64
+	spanEnd  float64
+	overflow []entry[T]
+}
+
+// Len reports the number of queued events.
+func (l *Ladder[T]) Len() int { return l.n }
+
+// Push schedules value at the given virtual time.
+func (l *Ladder[T]) Push(time float64, value T) {
+	e := entry[T]{time: time, seq: l.seq, value: value}
+	l.seq++
+	l.n++
+	if time < l.curEnd {
+		l.insertCur(e)
+		return
+	}
+	if time < l.spanEnd {
+		// The index is a deterministic function of the time, and the lower
+		// clamp (rungIdx, which only ever grows while a rung holds events)
+		// cannot separate equal timestamps — so equal-time events always land
+		// in the same rung and the activation sort restores FIFO among them.
+		i := int((time - l.base) / l.width)
+		if i < l.rungIdx {
+			i = l.rungIdx
+		}
+		if i >= len(l.rungs) {
+			i = len(l.rungs) - 1
+		}
+		l.rungs[i] = append(l.rungs[i], e)
+		return
+	}
+	l.overflow = append(l.overflow, e)
+}
+
+// Peek returns the earliest event without removing it. ok is false if the
+// queue is empty. Peek may advance the ladder's internal bucket structure
+// (activating and sorting the next rung) but never changes the queue's
+// logical contents.
+func (l *Ladder[T]) Peek() (time float64, value T, ok bool) {
+	if !l.ensureHead() {
+		var zero T
+		return 0, zero, false
+	}
+	e := &l.cur[l.head]
+	return e.time, e.value, true
+}
+
+// Pop removes and returns the earliest event. ok is false if the queue is
+// empty.
+func (l *Ladder[T]) Pop() (time float64, value T, ok bool) {
+	if !l.ensureHead() {
+		var zero T
+		return 0, zero, false
+	}
+	e := l.cur[l.head]
+	l.cur[l.head] = entry[T]{}
+	l.head++
+	l.n--
+	l.compact()
+	return e.time, e.value, true
+}
+
+// PopBatch removes every event sharing the earliest timestamp and appends
+// them, in insertion order, to buf[:0], mirroring Queue.PopBatch.
+func (l *Ladder[T]) PopBatch(buf []T) (time float64, batch []T, ok bool) {
+	batch = buf[:0]
+	t, first, ok := l.Pop()
+	if !ok {
+		return 0, batch, false
+	}
+	batch = append(batch, first)
+	for {
+		nt, _, ok := l.Peek()
+		if !ok || nt != t {
+			return t, batch, true
+		}
+		_, v, _ := l.Pop()
+		batch = append(batch, v)
+	}
+}
+
+// Reset empties the ladder while keeping every backing array (rungs, active
+// segment, overflow), so one Ladder can be reused across simulation runs.
+func (l *Ladder[T]) Reset() {
+	clear(l.cur)
+	l.cur = l.cur[:0]
+	l.head = 0
+	l.curEnd = 0
+	for i := range l.rungs {
+		clear(l.rungs[i])
+		l.rungs[i] = l.rungs[i][:0]
+	}
+	l.rungIdx = 0
+	l.base = 0
+	l.width = 0
+	l.spanEnd = 0
+	clear(l.overflow)
+	l.overflow = l.overflow[:0]
+	l.seq = 0
+	l.n = 0
+}
+
+// insertCur binary-inserts e into the active segment. Every queued entry's
+// sequence number is smaller than e's, so the upper bound by time alone is
+// the correct (time, seq) position and FIFO among equal timestamps holds.
+func (l *Ladder[T]) insertCur(e entry[T]) {
+	lo, hi := l.head, len(l.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.cur[mid].time <= e.time {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l.cur = append(l.cur, entry[T]{})
+	copy(l.cur[lo+1:], l.cur[lo:])
+	l.cur[lo] = e
+}
+
+// ensureHead makes cur[head] the earliest queued event, activating rungs and
+// rebasing the overflow as needed. It reports false when the queue is empty.
+func (l *Ladder[T]) ensureHead() bool {
+	if l.n == 0 {
+		return false
+	}
+	for l.head == len(l.cur) {
+		if !l.advance() {
+			return false
+		}
+	}
+	return true
+}
+
+// advance replaces the drained active segment with the next non-empty rung
+// (sorting it), rebasing the overflow into fresh rungs when all rungs are
+// spent. It reports false when nothing is left anywhere.
+func (l *Ladder[T]) advance() bool {
+	l.cur = l.cur[:0]
+	l.head = 0
+	for i := l.rungIdx; i < len(l.rungs); i++ {
+		if len(l.rungs[i]) == 0 {
+			continue
+		}
+		// Adopt the rung as the new active segment; the drained segment's
+		// backing array is recycled as the (now empty) rung's.
+		l.cur, l.rungs[i] = l.rungs[i], l.cur
+		l.rungIdx = i + 1
+		l.curEnd = l.base + l.width*float64(l.rungIdx)
+		sortEntries(l.cur)
+		return true
+	}
+	l.rungIdx = len(l.rungs)
+	return l.rebase()
+}
+
+// rebase spreads the overflow over a fresh set of rungs spanning exactly the
+// overflow's time range. Only reached with every rung and the active segment
+// empty, so all remaining events (and every future push, whose time can sort
+// before none of the already-delivered ones under the simulators' usage) are
+// re-bucketed consistently.
+func (l *Ladder[T]) rebase() bool {
+	if len(l.overflow) == 0 {
+		return false
+	}
+	if l.rungs == nil {
+		l.rungs = make([][]entry[T], ladderRungs)
+	}
+	min, max := l.overflow[0].time, l.overflow[0].time
+	for i := 1; i < len(l.overflow); i++ {
+		t := l.overflow[i].time
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	l.base = min
+	l.width = (max - min) / float64(len(l.rungs))
+	if !(l.width > 0) {
+		// Degenerate span (all timestamps equal, or a width that underflowed):
+		// any positive width buckets everything into rung 0.
+		l.width = 1
+	}
+	l.spanEnd = l.base + l.width*float64(len(l.rungs))
+	l.rungIdx = 0
+	for _, e := range l.overflow {
+		i := int((e.time - l.base) / l.width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(l.rungs) {
+			i = len(l.rungs) - 1
+		}
+		l.rungs[i] = append(l.rungs[i], e)
+	}
+	clear(l.overflow)
+	l.overflow = l.overflow[:0]
+	return true
+}
+
+// compact bounds the consumed prefix of the active segment so a long
+// insert-at-head workload cannot grow its backing array without bound. The
+// copy moves at most as many entries as were popped since the last compact,
+// keeping Pop amortized O(1).
+func (l *Ladder[T]) compact() {
+	if l.head < shrinkMin || l.head*2 < len(l.cur) {
+		return
+	}
+	n := copy(l.cur, l.cur[l.head:])
+	clear(l.cur[n:])
+	l.cur = l.cur[:n]
+	l.head = 0
+}
+
+// sortEntries sorts a rung by (time, seq) as it becomes the active segment.
+// slices.SortFunc with a capture-free comparator keeps the path allocation
+// free, unlike sort.Slice.
+func sortEntries[T any](es []entry[T]) {
+	slices.SortFunc(es, func(a, b entry[T]) int {
+		if a.time != b.time {
+			if a.time < b.time {
+				return -1
+			}
+			return 1
+		}
+		// Sequence numbers are unique, so the order is total.
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+}

@@ -1,0 +1,297 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mirror drives a Queue and a Ladder with the same operation sequence and
+// fails the test on the first divergence in results or lengths.
+type mirror struct {
+	t    *testing.T
+	q    Queue[int]
+	l    Ladder[int]
+	qbuf []int
+	lbuf []int
+}
+
+func (m *mirror) push(time float64, v int) {
+	m.t.Helper()
+	m.q.Push(time, v)
+	m.l.Push(time, v)
+	m.checkLen()
+}
+
+func (m *mirror) pop() {
+	m.t.Helper()
+	qt, qv, qok := m.q.Pop()
+	lt, lv, lok := m.l.Pop()
+	if qt != lt || qv != lv || qok != lok {
+		m.t.Fatalf("Pop diverged: queue (%v, %d, %t) vs ladder (%v, %d, %t)",
+			qt, qv, qok, lt, lv, lok)
+	}
+	m.checkLen()
+}
+
+func (m *mirror) peek() {
+	m.t.Helper()
+	qt, qv, qok := m.q.Peek()
+	lt, lv, lok := m.l.Peek()
+	if qt != lt || qv != lv || qok != lok {
+		m.t.Fatalf("Peek diverged: queue (%v, %d, %t) vs ladder (%v, %d, %t)",
+			qt, qv, qok, lt, lv, lok)
+	}
+}
+
+func (m *mirror) popBatch() {
+	m.t.Helper()
+	qt, qb, qok := m.q.PopBatch(m.qbuf)
+	lt, lb, lok := m.l.PopBatch(m.lbuf)
+	m.qbuf, m.lbuf = qb, lb
+	if qt != lt || qok != lok || len(qb) != len(lb) {
+		m.t.Fatalf("PopBatch diverged: queue (%v, %v, %t) vs ladder (%v, %v, %t)",
+			qt, qb, qok, lt, lb, lok)
+	}
+	for i := range qb {
+		if qb[i] != lb[i] {
+			m.t.Fatalf("PopBatch diverged at index %d: queue %v vs ladder %v", i, qb, lb)
+		}
+	}
+	m.checkLen()
+}
+
+func (m *mirror) checkLen() {
+	m.t.Helper()
+	if m.q.Len() != m.l.Len() {
+		m.t.Fatalf("Len diverged: queue %d vs ladder %d", m.q.Len(), m.l.Len())
+	}
+}
+
+func (m *mirror) drain() {
+	m.t.Helper()
+	for m.q.Len() > 0 || m.l.Len() > 0 {
+		m.pop()
+	}
+	m.pop() // one empty pop: both must report !ok
+}
+
+// TestLadderZeroValue: the zero value must be a usable empty queue, exactly
+// like Queue's.
+func TestLadderZeroValue(t *testing.T) {
+	var l Ladder[string]
+	if l.Len() != 0 {
+		t.Fatalf("zero-value Len = %d, want 0", l.Len())
+	}
+	if _, _, ok := l.Pop(); ok {
+		t.Fatal("Pop on zero-value ladder reported ok")
+	}
+	if _, _, ok := l.Peek(); ok {
+		t.Fatal("Peek on zero-value ladder reported ok")
+	}
+	if _, batch, ok := l.PopBatch(nil); ok || len(batch) != 0 {
+		t.Fatalf("PopBatch on zero-value ladder = (%v, %t), want empty", batch, ok)
+	}
+	l.Push(2, "b")
+	l.Push(1, "a")
+	if tm, v, ok := l.Pop(); !ok || tm != 1 || v != "a" {
+		t.Fatalf("Pop = (%v, %q, %t), want (1, a, true)", tm, v, ok)
+	}
+	if tm, v, ok := l.Pop(); !ok || tm != 2 || v != "b" {
+		t.Fatalf("Pop = (%v, %q, %t), want (2, b, true)", tm, v, ok)
+	}
+}
+
+// TestLadderOrdering: events come out sorted by time with ties in insertion
+// order, matching the heap queue on a random workload.
+func TestLadderOrdering(t *testing.T) {
+	m := &mirror{t: t}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		// Coarse times force plenty of exact ties.
+		m.push(float64(rng.Intn(97)), i)
+	}
+	m.drain()
+}
+
+// TestLadderFIFOAcrossBucketBoundaries pins equal-time delivery order when
+// the tied events interact with the ladder's bucket structure: ties landing
+// exactly on a rung boundary, ties pushed into a rung versus inserted into
+// the active segment after that rung activates, and ties split between a
+// rung and the overflow list across a rebase.
+func TestLadderFIFOAcrossBucketBoundaries(t *testing.T) {
+	m := &mirror{t: t}
+
+	// Span [0, 64): after the first rebase the rungs are width 1, so integer
+	// times sit exactly on rung boundaries.
+	m.push(0, 1)
+	m.push(64, 2)
+	m.pop() // pops (0, 1) and rebases {0, 64}
+	if m.l.width != 1 {
+		t.Fatalf("rebase width = %v, want 1 (test assumes unit rungs)", m.l.width)
+	}
+
+	// Boundary tie: t=1 is the exact edge between rung 0 and rung 1; all
+	// four must come out 10, 11, 12, 13 even though they are pushed across
+	// an active-segment drain and the rung's activation.
+	m.push(1, 10)
+	m.push(1, 11)   // both land in rung 1
+	m.push(0.5, 20) // inside the active span: binary-inserted
+	m.popBatch()    // (0.5, [20]); drains the active segment
+	m.push(1, 12)   // still rung 1
+	m.peek()        // activates (sorts) rung 1
+	m.push(1, 13)   // now binary-inserted into the active segment
+	m.popBatch()    // (1, [10 11 12 13])
+
+	// Rebase-straddling tie: t=64 was pushed into overflow above; once the
+	// rungs drain, a rebase puts it at the new base. Push more ties at t=64
+	// before and after that rebase happens.
+	m.push(64, 30)
+	m.popBatch() // forces the rebase at t=64: batch must be [2 30]
+	m.push(64, 31)
+	m.popBatch() // (64, [31])
+	m.drain()
+}
+
+// TestLadderPushDuringPopBatch: pushing events at the currently draining
+// timestamp between the pops of a batch must extend the batch in insertion
+// order, identically for heap and ladder.
+func TestLadderPushDuringPopBatch(t *testing.T) {
+	m := &mirror{t: t}
+	for i := 0; i < 10; i++ {
+		m.push(5, i)
+	}
+	m.push(7, 99)
+	// Drain the t=5 batch by hand, injecting same-time and later-time events
+	// mid-drain.
+	for i := 0; i < 3; i++ {
+		m.pop()
+	}
+	m.push(5, 100) // joins the tail of the current batch
+	m.push(6, 101) // must wait for the whole t=5 batch
+	m.popBatch()   // rest of t=5: 3..9 then 100
+	m.popBatch()   // (6, [101])
+	m.drain()
+}
+
+// TestLadderReset: a reset ladder behaves like a fresh one (including the
+// restarted insertion sequence) while reusing its arrays.
+func TestLadderReset(t *testing.T) {
+	var l Ladder[int]
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		l.Push(rng.Float64()*100, i)
+	}
+	for i := 0; i < 500; i++ {
+		l.Pop()
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", l.Len())
+	}
+	if _, _, ok := l.Pop(); ok {
+		t.Fatal("Pop after Reset reported ok")
+	}
+	m := &mirror{t: t, l: l}
+	for i := 0; i < 1000; i++ {
+		m.push(float64(rng.Intn(50)), i)
+	}
+	m.drain()
+}
+
+// TestQueueReset: same contract for the heap queue.
+func TestQueueReset(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(float64(i%7), i)
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", q.Len())
+	}
+	q.Push(1, 42)
+	if _, v, ok := q.Pop(); !ok || v != 42 {
+		t.Fatalf("Pop after Reset = (%d, %t), want (42, true)", v, ok)
+	}
+}
+
+// TestPopBatchDefersShrink: draining a large same-time batch must shrink the
+// backing array at most once (after the batch), not cascade a reallocation
+// per popped element.
+func TestPopBatchDefersShrink(t *testing.T) {
+	var q Queue[int]
+	const n = 1024
+	for i := 0; i < n; i++ {
+		q.Push(1, i)
+	}
+	before := cap(q.items)
+	_, batch, ok := q.PopBatch(nil)
+	if !ok || len(batch) != n {
+		t.Fatalf("PopBatch = (%d events, %t), want (%d, true)", len(batch), ok, n)
+	}
+	// A single end-of-batch shrink halves the capacity once; the pre-fix
+	// cascade would shrink it toward shrinkMin.
+	if got := cap(q.items); got < before/2 {
+		t.Errorf("capacity after batch = %d, want >= %d (single deferred shrink of %d)",
+			got, before/2, before)
+	}
+}
+
+// TestLadderMatchesQueueRandom is the deterministic arm of the differential
+// fuzz: long random interleavings of Push/Pop/PopBatch/Peek across several
+// seeds, including time collisions, out-of-order (past-time) pushes and full
+// drains that force rebases.
+func TestLadderMatchesQueueRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := &mirror{t: t}
+		for op := 0; op < 20000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				// Mostly-monotone times with collisions, occasionally far
+				// future or past.
+				base := float64(op/10) / 2
+				jitter := float64(rng.Intn(40)-4) * 0.25
+				m.push(base+jitter, op)
+			case r < 7:
+				m.pop()
+			case r < 9:
+				m.popBatch()
+			default:
+				m.peek()
+			}
+		}
+		m.drain()
+	}
+}
+
+// FuzzLadderMatchesQueue feeds arbitrary interleaved Push/Pop/PopBatch/Peek
+// sequences to both implementations and requires identical observable
+// behavior, proving the ladder preserves the (time, insertion-seq) delivery
+// contract.
+func FuzzLadderMatchesQueue(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 10, 1, 0, 200, 2, 0, 10, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 2, 2})
+	f.Add([]byte{0, 255, 0, 1, 1, 0, 128, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &mirror{t: t}
+		for i := 0; i < len(data); i++ {
+			switch data[i] % 4 {
+			case 0:
+				if i+1 >= len(data) {
+					return
+				}
+				i++
+				// Quarter-unit quantization yields frequent exact ties;
+				// int8 range covers negative (past) times too.
+				m.push(float64(int8(data[i]))/4, i)
+			case 1:
+				m.pop()
+			case 2:
+				m.popBatch()
+			case 3:
+				m.peek()
+			}
+		}
+		m.drain()
+	})
+}

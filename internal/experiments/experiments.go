@@ -40,6 +40,10 @@ type Options struct {
 	// UniformJobs overrides the light-tailed workload length (default:
 	// the paper's 10,000).
 	UniformJobs int
+	// ScaleJobs overrides the scale-100k stress trace length (default:
+	// 100,000 — roughly 4x the paper's trace). Tests shrink it; the
+	// benchmark tier runs it in full.
+	ScaleJobs int
 	// FullReschedule forwards engine.Config.FullReschedule: it disables the
 	// task-level engine's incremental round fast paths, re-invoking the
 	// policy every round. Results must be identical either way (a
@@ -58,6 +62,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.UniformJobs <= 0 {
 		o.UniformJobs = 10000
+	}
+	if o.ScaleJobs <= 0 {
+		o.ScaleJobs = 100000
 	}
 	return o
 }

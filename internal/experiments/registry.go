@@ -12,13 +12,14 @@ import (
 // Registry returns the replication table: every experiment as a pure
 // func(seed) that re-derives its workload from that seed and reports its
 // figures as metric cells for the runner engine's cross-seed aggregation.
-// The Options' scale knobs (TraceJobs, UniformJobs) apply to every entry and
+// The Options' scale knobs (TraceJobs, UniformJobs, ScaleJobs) apply to
+// every entry and
 // are folded into the cache fingerprint; Options.Seed and Options.Repeats
 // are ignored — the runner owns seeding, and each replication is one repeat.
 func Registry(opts Options) []runner.Experiment {
 	opts = opts.Defaults()
-	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,full-resched=%t",
-		opts.TraceJobs, opts.UniformJobs, opts.FullReschedule)
+	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,scale-jobs=%d,full-resched=%t",
+		opts.TraceJobs, opts.UniformJobs, opts.ScaleJobs, opts.FullReschedule)
 	perSeed := func(seed int64) Options {
 		o := opts
 		o.Seed = seed
@@ -191,6 +192,13 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			return cells, nil
 		}),
+		exp("scale-100k", func(seed int64) ([]runner.Cell, error) {
+			res, err := Scale100k(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
 	}
 }
 
@@ -231,7 +239,7 @@ func traceCells(res *TraceResult) []runner.Cell {
 func RegistryNames() []string {
 	return []string{
 		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
-		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
+		"sjf-error", "weights", "adaptive", "tradeoff", "geo", "scale-100k",
 	}
 }
 

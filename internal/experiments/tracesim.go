@@ -52,6 +52,27 @@ func Fig7Uniform(opts Options) (*TraceResult, error) {
 	return runTrace(specs, fcfg, traceLASMQ)
 }
 
+// Scale100k runs the heavy-tailed Facebook trace stretched to 100,000 jobs —
+// roughly 4x the paper's — under all four policies with the Fig. 7a
+// simulation parameters. It is not a paper figure; it is the scale tier that
+// stresses the ladder event queue, the slab-allocated job state, and the
+// incremental in-queue ordering at trace lengths the figure experiments
+// never reach. BenchmarkScale100k records its runtime and peak heap in
+// BENCH_engine.json.
+func Scale100k(opts Options) (*TraceResult, error) {
+	opts = opts.Defaults()
+	tcfg := trace.DefaultFacebookConfig()
+	tcfg.Jobs = opts.ScaleJobs
+	tcfg.Seed = opts.Seed
+	specs, err := trace.Facebook(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := fluid.DefaultConfig()
+	fcfg.Capacity = tcfg.Capacity
+	return runTrace(specs, fcfg, traceLASMQ)
+}
+
 func runTrace(specs []fluid.JobSpec, fcfg fluid.Config, mq func() (*core.LASMQ, error)) (*TraceResult, error) {
 	res := &TraceResult{
 		Mean:       make(map[string]float64, len(PolicyOrder)),

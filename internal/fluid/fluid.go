@@ -16,7 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"lasmq/internal/sched"
 	"lasmq/internal/substrate"
@@ -189,51 +190,107 @@ func Run(specs []JobSpec, policy sched.Scheduler, cfg Config) (*Result, error) {
 		seen[s.ID] = true
 	}
 	s := newSim(specs, policy, cfg)
+	defer s.release()
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return s.result(), nil
 }
 
+// arena is the fluid run's slab-allocated state: all fluidJob records live
+// in one flat slice (fixed length per run, so pointers into it are stable),
+// with the pending/active pointer lists, the result map and the view
+// registry keeping their backing storage. Arenas are pooled so repeated runs
+// on one worker — the replication engine sweeping seeds — reuse storage
+// instead of re-allocating one fluidJob per trace job per run.
+type arena struct {
+	jobs    []fluidJob
+	pending []*fluidJob // sorted by arrival (stable on trace order)
+	active  []*fluidJob
+	results map[int]JobResult
+	vs      substrate.ViewSet
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// build lays the trace out in the slab and sorts the pending list.
+func (a *arena) build(specs []JobSpec, taskDuration float64) {
+	a.jobs = substrate.GrowSlab(a.jobs, len(specs))
+	a.pending = a.pending[:0]
+	a.active = a.active[:0]
+	if a.results == nil {
+		a.results = make(map[int]JobResult, len(specs))
+	} else {
+		clear(a.results)
+	}
+	for i := range specs {
+		j := &a.jobs[i]
+		j.spec = specs[i]
+		j.view.j = j
+		j.view.taskDuration = taskDuration
+		a.pending = append(a.pending, j)
+	}
+	slices.SortStableFunc(a.pending, func(x, y *fluidJob) int {
+		if x.spec.Arrival < y.spec.Arrival {
+			return -1
+		}
+		if x.spec.Arrival > y.spec.Arrival {
+			return 1
+		}
+		return 0
+	})
+}
+
+// scrub drops every reference the arena holds into the finished run so a
+// pooled arena cannot pin caller memory, keeping the backing storage.
+func (a *arena) scrub() {
+	clear(a.jobs)
+	clear(a.pending)
+	a.pending = a.pending[:0]
+	clear(a.active)
+	a.active = a.active[:0]
+	clear(a.results)
+	a.vs.Reset()
+}
+
 // sim is one fluid run: the kernel modules (policy driver, admission queue,
 // view registry) plus the fluid-specific state — continuous time, fractional
-// rates, and exact event computation.
+// rates, and exact event computation. The embedded arena holds the slab of
+// job records and the reused per-run storage.
 type sim struct {
 	cfg    Config
 	specs  []JobSpec
 	driver *substrate.Driver
 	adm    *substrate.Queue[*fluidJob]
-	vs     substrate.ViewSet
+	*arena
 
-	pending []*fluidJob // sorted by arrival (stable on trace order)
-	active  []*fluidJob
-	pi      int // next pending index
-	now     float64
+	pi  int // next pending index
+	now float64
 
 	rounds    int
 	makespan  float64
 	delivered float64
-	results   map[int]JobResult
 }
 
 func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
-	s := &sim{
-		cfg:     cfg,
-		specs:   specs,
-		driver:  substrate.NewDriver(policy),
-		adm:     substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
-		pending: make([]*fluidJob, len(specs)),
-		results: make(map[int]JobResult, len(specs)),
+	ar := arenaPool.Get().(*arena)
+	ar.build(specs, cfg.TaskDuration)
+	return &sim{
+		cfg:    cfg,
+		specs:  specs,
+		driver: substrate.NewDriver(policy),
+		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
+		arena:  ar,
 	}
-	for i := range specs {
-		s.pending[i] = &fluidJob{spec: specs[i]}
-		s.pending[i].view.j = s.pending[i]
-		s.pending[i].view.taskDuration = cfg.TaskDuration
-	}
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].spec.Arrival < s.pending[j].spec.Arrival
-	})
-	return s
+}
+
+// release scrubs the sim's arena and returns it to the pool. The sim must
+// not be used afterwards.
+func (s *sim) release() {
+	ar := s.arena
+	s.arena = nil
+	ar.scrub()
+	arenaPool.Put(ar)
 }
 
 // admit releases waiting jobs while the admission limit allows; released

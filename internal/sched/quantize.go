@@ -2,7 +2,7 @@ package sched
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Quantizer converts fractional container shares into whole containers
@@ -44,7 +44,10 @@ func (qz *Quantizer) QuantizeInto(alloc Assignment, demand map[int]float64, capa
 	for id := range alloc { // range-ok: ids are sorted immediately below
 		shares = append(shares, qshare{id: id})
 	}
-	sort.Slice(shares, func(i, j int) bool { return shares[i].id < shares[j].id })
+	// Job IDs are unique, so each comparator below is a total order and the
+	// unstable sort is deterministic; slices.SortFunc keeps the round free of
+	// sort.Slice's interface/reflect allocations.
+	slices.SortFunc(shares, func(a, b qshare) int { return a.id - b.id })
 	var allocTotal float64
 	total := 0
 	k := 0
@@ -79,11 +82,11 @@ func (qz *Quantizer) QuantizeInto(alloc Assignment, demand map[int]float64, capa
 			trim = append(trim, i)
 		}
 		qz.trim = trim
-		sort.Slice(trim, func(a, b int) bool {
-			if shares[trim[a]].whole != shares[trim[b]].whole {
-				return shares[trim[a]].whole > shares[trim[b]].whole
+		slices.SortFunc(trim, func(a, b int) int {
+			if shares[a].whole != shares[b].whole {
+				return shares[b].whole - shares[a].whole
 			}
-			return shares[trim[a]].id < shares[trim[b]].id
+			return shares[a].id - shares[b].id
 		})
 		for i := 0; total > budget; i = (i + 1) % len(trim) {
 			if shares[trim[i]].whole > 0 {
@@ -93,11 +96,14 @@ func (qz *Quantizer) QuantizeInto(alloc Assignment, demand map[int]float64, capa
 		}
 	}
 	remaining := budget - total
-	sort.Slice(shares, func(i, j int) bool {
-		if shares[i].frac != shares[j].frac {
-			return shares[i].frac > shares[j].frac
+	slices.SortFunc(shares, func(a, b qshare) int {
+		if a.frac != b.frac {
+			if a.frac > b.frac {
+				return -1
+			}
+			return 1
 		}
-		return shares[i].id < shares[j].id
+		return a.id - b.id
 	})
 	if qz.out == nil {
 		qz.out = make(map[int]int, len(shares))

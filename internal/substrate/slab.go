@@ -1,0 +1,15 @@
+package substrate
+
+// GrowSlab returns s resized to length n with zeroed contents, reusing the
+// backing array when its capacity allows. It is the building block of the
+// substrates' pooled arenas: per-run state lives in flat slabs that one
+// worker reuses across runs (seed replication, benchmark loops) instead of
+// re-allocating each time.
+func GrowSlab[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

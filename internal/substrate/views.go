@@ -60,3 +60,14 @@ func (vs *ViewSet) Rates() sched.Assignment { return vs.rates }
 
 // HasRates reports whether this round carries rate bounds (Begin(·, true)).
 func (vs *ViewSet) HasRates() bool { return vs.hasRates }
+
+// Reset empties the registry, dropping references into the caller's job
+// state while keeping the backing storage — a pooled substrate arena calls
+// this between runs so a recycled ViewSet cannot pin the previous workload.
+func (vs *ViewSet) Reset() {
+	clear(vs.views)
+	vs.views = vs.views[:0]
+	clear(vs.demand)
+	clear(vs.rates)
+	vs.hasRates = false
+}
