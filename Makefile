@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare reproduce replicate examples clean
+.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare probe-gate reproduce replicate examples clean
 
 all: build vet test
 
-# Full pre-merge gate: map-range lint, build, vet, tests, race detector, and
-# one race-enabled iteration of the engine benchmarks (bench-smoke), so the
-# benchmark tier itself cannot rot or race silently.
-check: lint build vet test test-race bench-smoke
+# Full pre-merge gate: map-range lint, build, vet, tests, race detector,
+# one race-enabled iteration of the engine benchmarks (bench-smoke, so the
+# benchmark tier itself cannot rot or race silently), and the telemetry
+# zero-overhead assertion (probe-gate).
+check: lint build vet test test-race bench-smoke probe-gate
 
 # Policy/kernel packages whose float-bearing maps the lint watches.
 LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/yarn
@@ -77,6 +78,12 @@ bench_engine.out:
 # silently rot between baseline refreshes.
 bench-smoke:
 	LASMQ_SCALE_JOBS=2000 $(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
+
+# Telemetry must be free when off: a scheduling round with a nil probe may
+# not allocate (testing.AllocsPerRun == 0). Run -count=1 so a cached pass
+# cannot mask a regression introduced by an unrelated package.
+probe-gate:
+	$(GO) test -run '^TestScheduleRoundNilProbeZeroAlloc$$' -count=1 ./internal/engine
 
 .PHONY: bench_engine.out
 bench-baseline: bench_engine.out

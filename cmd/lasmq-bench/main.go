@@ -11,6 +11,7 @@
 //	            [-scale-jobs N] [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-trace-out FILE] [-trace-format jsonl|chrome]
 //
 // scale-100k is the 100,000-job stress tier, not a paper figure; "all" skips
 // it in direct mode so reproduce-scale runs stay figure-shaped (select it
@@ -38,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"lasmq/internal/cli"
 	"lasmq/internal/experiments"
 	"lasmq/internal/runner"
 )
@@ -69,6 +71,8 @@ func run() error {
 		cacheDir    = flag.String("cache", "", "content-addressed result cache directory; re-runs serve completed (experiment, seed) cells from it")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		traceOut    = flag.String("trace-out", "", "write a scheduler event trace of the selected experiments to this file (direct mode only)")
+		traceFormat = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats())
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -115,12 +119,28 @@ func run() error {
 	}
 
 	if *seeds > 1 || *workers > 0 || *cacheDir != "" {
+		if *traceOut != "" {
+			return fmt.Errorf("-trace-out requires direct mode: the replication engine runs experiments on concurrent workers, which would interleave one trace file")
+		}
 		return runReplicated(opts, runner.Options{
 			Seeds:    *seeds,
 			BaseSeed: *seed,
 			Workers:  *workers,
 			CacheDir: *cacheDir,
 		}, *experiment)
+	}
+
+	sink, err := cli.OpenTraceSink(*traceOut, *traceFormat)
+	if err != nil {
+		return err
+	}
+	opts.Probe = sink.Probe()
+	finishTrace := func() error {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		sink.PrintSummary(os.Stdout)
+		return nil
 	}
 
 	runners := map[string]func(experiments.Options) error{
@@ -146,7 +166,10 @@ func run() error {
 			return fmt.Errorf("unknown experiment %q (valid: %s)",
 				*experiment, strings.Join(validExperiments(), ", "))
 		}
-		return timed(*experiment, func() error { return runner(opts) })
+		if err := timed(*experiment, func() error { return runner(opts) }); err != nil {
+			return err
+		}
+		return finishTrace()
 	}
 	for _, name := range []string{
 		"table1", "fig1", "fig3", "fig5", "fig6",
@@ -157,7 +180,7 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+	return finishTrace()
 }
 
 // runReplicated drives the replication engine: the selected experiments fan

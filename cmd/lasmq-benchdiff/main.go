@@ -11,7 +11,8 @@
 // ratios (baseline/current, so > 1 means faster / fewer allocations), writes
 // the merged file back, and prints a comparison table. Compare mode is also
 // the CI regression gate: it exits nonzero, after printing the offending
-// rows, when any benchmark's ns/op or allocs/op regressed by more than
+// rows, when any benchmark's ns/op, allocs/op or custom metric (any unit
+// recorded in both sections, e.g. peak-heap-bytes) regressed by more than
 // -max-regress (default 20%) against the baseline. Benchmarks with no
 // recorded baseline are reported but never gate.
 package main
@@ -59,7 +60,7 @@ func main() {
 func run() error {
 	mode := flag.String("mode", "compare", "baseline (record) or compare (diff against the recorded baseline)")
 	out := flag.String("out", "BENCH_engine.json", "performance record to write")
-	maxRegress := flag.Float64("max-regress", 0.20, "compare mode fails when ns/op or allocs/op regressed by more than this fraction")
+	maxRegress := flag.Float64("max-regress", 0.20, "compare mode fails when ns/op, allocs/op or a custom metric regressed by more than this fraction")
 	flag.Parse()
 
 	parsed, err := parseBench(os.Stdin)
@@ -203,6 +204,11 @@ func printTable(w io.Writer, f *File) {
 		s := f.Speedup[name]
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f %7.2fx\n",
 			name, b.NsPerOp, c.NsPerOp, s["ns_op"], b.AllocsPerOp, c.AllocsPerOp, s["allocs_op"])
+		// Custom b.ReportMetric units (e.g. peak-heap-bytes) as sub-rows.
+		for _, unit := range extraUnits(b, c) {
+			fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx\n",
+				"  "+unit, b.Extra[unit], c.Extra[unit], s[unit])
+		}
 	}
 	for name := range f.Current {
 		if _, ok := f.Baseline[name]; !ok {
@@ -212,8 +218,8 @@ func printTable(w io.Writer, f *File) {
 }
 
 // checkRegressions is compare mode's gate: any benchmark present in both
-// sections whose ns/op or allocs/op grew by more than maxRegress (a fraction;
-// 0.20 means 20%) fails the run. Offending rows print as a diff table so CI
+// sections whose ns/op, allocs/op or custom metric grew by more than
+// maxRegress (a fraction; 0.20 means 20%) fails the run. Offending rows print as a diff table so CI
 // logs show what regressed and by how much. A negative maxRegress disables
 // the gate.
 func checkRegressions(w io.Writer, f *File, maxRegress float64) error {
@@ -243,6 +249,9 @@ func checkRegressions(w io.Writer, f *File, maxRegress float64) error {
 		}
 		check("ns/op", b.NsPerOp, c.NsPerOp)
 		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+		for _, unit := range extraUnits(b, c) {
+			check(unit, b.Extra[unit], c.Extra[unit])
+		}
 	}
 	if len(rows) == 0 {
 		return nil
@@ -254,6 +263,19 @@ func checkRegressions(w io.Writer, f *File, maxRegress float64) error {
 	}
 	return fmt.Errorf("%d metric(s) regressed by more than %.0f%% (re-baseline with `make bench-baseline` if intentional)",
 		len(rows), 100*maxRegress)
+}
+
+// extraUnits returns the custom-metric units present in both baseline and
+// current, sorted for stable table and gate order.
+func extraUnits(b, c Metrics) []string {
+	var units []string
+	for unit := range b.Extra {
+		if _, ok := c.Extra[unit]; ok {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 func readFile(path string) (*File, error) {

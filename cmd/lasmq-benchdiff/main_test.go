@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkScheduleRound/LASMQ-8   1000   12345 ns/op   0 B/op   0 allocs/op
+BenchmarkScale100k-8   1   2000000 ns/op   500 B/op   7 allocs/op   1048576 peak-heap-bytes
+PASS
+`
+
+func TestParseBenchExtraMetrics(t *testing.T) {
+	parsed, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := parsed["Scale100k"]
+	if !ok {
+		t.Fatalf("Scale100k not parsed; got %v", parsed)
+	}
+	if got := m.Extra["peak-heap-bytes"]; got != 1048576 {
+		t.Fatalf("peak-heap-bytes = %v, want 1048576", got)
+	}
+}
+
+func TestCheckRegressionsGatesExtraMetrics(t *testing.T) {
+	base := Metrics{NsPerOp: 100, Extra: map[string]float64{"peak-heap-bytes": 1000}}
+	f := &File{
+		Baseline: map[string]Metrics{"Scale100k": base},
+		Current: map[string]Metrics{
+			"Scale100k": {NsPerOp: 100, Extra: map[string]float64{"peak-heap-bytes": 1500}},
+		},
+	}
+	var out strings.Builder
+	err := checkRegressions(&out, f, 0.20)
+	if err == nil {
+		t.Fatalf("a 50%% peak-heap-bytes regression passed the 20%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "peak-heap-bytes") {
+		t.Fatalf("offending metric missing from the report:\n%s", out.String())
+	}
+
+	// Within the allowance the gate stays quiet.
+	f.Current["Scale100k"] = Metrics{NsPerOp: 100, Extra: map[string]float64{"peak-heap-bytes": 1100}}
+	if err := checkRegressions(&out, f, 0.20); err != nil {
+		t.Fatalf("a 10%% change failed the 20%% gate: %v", err)
+	}
+}
+
+func TestPrintTableShowsExtraMetrics(t *testing.T) {
+	f := &File{
+		Baseline: map[string]Metrics{
+			"Scale100k": {NsPerOp: 100, Extra: map[string]float64{"peak-heap-bytes": 1000}},
+		},
+		Current: map[string]Metrics{
+			"Scale100k": {NsPerOp: 90, Extra: map[string]float64{"peak-heap-bytes": 900}},
+		},
+	}
+	f.Speedup = speedups(f.Baseline, f.Current)
+	var out strings.Builder
+	printTable(&out, f)
+	if !strings.Contains(out.String(), "peak-heap-bytes") {
+		t.Fatalf("extra metric missing from the table:\n%s", out.String())
+	}
+}

@@ -6,13 +6,21 @@
 //
 //	lasmq-live [-scheduler lasmq|las|fair|fifo|sjf|srtf] [-jobs 20] [-seed 1]
 //	           [-nodes 4] [-containers-per-node 30] [-max-running 30]
-//	           [-time-scale 500us] [-interval 30]
+//	           [-time-scale 500us] [-interval 30] [-debug-addr :8090]
+//
+// -debug-addr serves live scheduler telemetry (job/task counts, queue
+// demotions, admission backlog — see internal/obs) as JSON on
+// http://ADDR/debug/schedvars while the workload runs, expvar-style; the
+// same counters print as a summary when the run drains.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -21,6 +29,7 @@ import (
 	"lasmq/internal/core"
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
+	"lasmq/internal/obs"
 	"lasmq/internal/stats"
 	"lasmq/internal/workload"
 	"lasmq/internal/yarn"
@@ -44,6 +53,7 @@ func run() error {
 		timeScale  = flag.Duration("time-scale", 500*time.Microsecond, "wall time per cluster second")
 		interval   = flag.Float64("interval", 30, "mean arrival interval in cluster seconds")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "drain timeout")
+		debugAddr  = flag.String("debug-addr", "", "serve live telemetry counters as JSON on http://ADDR/debug/schedvars")
 	)
 	flag.Parse()
 
@@ -51,12 +61,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	counters := obs.NewCounters()
 	cfg := yarn.Config{
 		Nodes:             *nodes,
 		ContainersPerNode: *perNode,
 		MaxRunningJobs:    *maxRunning,
 		TimeScale:         *timeScale,
 		HeartbeatInterval: 10 * *timeScale,
+		Probe:             counters,
+	}
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr, counters); err != nil {
+			return err
+		}
 	}
 	cluster, err := yarn.New(cfg, policy)
 	if err != nil {
@@ -111,6 +128,31 @@ func run() error {
 		return err
 	}
 	fmt.Printf("jain fairness of responses: %.2f\n", stats.JainIndex(responses))
+	fmt.Println("telemetry:")
+	snap := counters.Snapshot()
+	snap.WriteSummary(os.Stdout)
+	return nil
+}
+
+// serveDebug exposes the counters on an expvar-style HTTP endpoint. The
+// obs.Counters sink is internally locked, so snapshots taken by request
+// handlers are safe against the ResourceManager's concurrent updates.
+func serveDebug(addr string, counters *obs.Counters) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/schedvars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(counters.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	fmt.Printf("telemetry endpoint: http://%s/debug/schedvars\n", ln.Addr())
+	go http.Serve(ln, mux) //nolint:errcheck // endpoint dies with the process
 	return nil
 }
 

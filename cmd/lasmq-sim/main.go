@@ -7,6 +7,13 @@
 //	lasmq-sim [-trace file.csv | -synth facebook|uniform] [-scheduler lasmq|...]
 //	          [-capacity 20] [-jobs N] [-seed 1] [-queues 10] [-threshold 1]
 //	          [-step 10] [-decay 8] [-jobs-csv] [-cdf]
+//	          [-trace-out run.trace] [-trace-format jsonl|chrome]
+//
+// -trace-out records every scheduler event (submissions, admissions, queue
+// demotions, completions) to a file: -trace-format jsonl is a deterministic
+// line-oriented log, chrome is Chrome trace-event JSON for Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Tracing is observation
+// only — simulated results are identical with it on or off.
 package main
 
 import (
@@ -44,6 +51,9 @@ func run() error {
 
 		jobsCSV = flag.Bool("jobs-csv", false, "print per-job results as CSV")
 		showCDF = flag.Bool("cdf", false, "print the response-time CDF")
+
+		traceOut    = flag.String("trace-out", "", "write a scheduler event trace to this file (telemetry; results are unaffected)")
+		traceFormat = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats()+" (chrome opens in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -68,8 +78,17 @@ func run() error {
 		return err
 	}
 
+	sink, err := cli.OpenTraceSink(*traceOut, *traceFormat)
+	if err != nil {
+		return err
+	}
+	fcfg.Probe = sink.Probe()
+
 	res, err := fluid.Run(specs, policy, fcfg)
 	if err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
 		return err
 	}
 
@@ -89,6 +108,7 @@ func run() error {
 	if *showCDF {
 		cli.PrintCDF(os.Stdout, res.ResponseTimes(), 50)
 	}
+	sink.PrintSummary(os.Stdout)
 	return nil
 }
 

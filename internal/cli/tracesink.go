@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lasmq/internal/obs"
+)
+
+// TraceFormats lists the accepted -trace-format flag values.
+func TraceFormats() string { return "jsonl, chrome" }
+
+// TraceSink bundles the telemetry sinks behind the CLIs' -trace-out /
+// -trace-format flags: a file-backed event trace (JSONL or Chrome
+// trace-event JSON) plus an aggregating obs.Counters whose summary the
+// CLIs print after the run.
+type TraceSink struct {
+	// Counters aggregates scheduler telemetry for the end-of-run summary.
+	Counters *obs.Counters
+
+	path   string
+	file   *os.File
+	jsonl  *obs.JSONL
+	chrome *obs.ChromeTrace
+	probe  obs.Probe
+}
+
+// OpenTraceSink creates the sinks for the given flag values. An empty path
+// returns (nil, nil): tracing off. The returned sink must be Closed to
+// flush the trace file.
+func OpenTraceSink(path, format string) (*TraceSink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &TraceSink{Counters: obs.NewCounters(), path: path, file: f}
+	switch format {
+	case "jsonl":
+		t.jsonl = obs.NewJSONL(f)
+		t.probe = obs.Multi(t.Counters, t.jsonl)
+	case "chrome":
+		t.chrome = obs.NewChromeTrace()
+		t.probe = obs.Multi(t.Counters, t.chrome)
+	default:
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("unknown trace format %q (want %s)", format, TraceFormats())
+	}
+	return t, nil
+}
+
+// Probe returns the probe to attach to the run. Safe on a nil sink (returns
+// nil: tracing off, zero overhead).
+func (t *TraceSink) Probe() obs.Probe {
+	if t == nil {
+		return nil
+	}
+	return t.probe
+}
+
+// Close flushes and closes the trace file. Safe on a nil sink.
+func (t *TraceSink) Close() error {
+	if t == nil {
+		return nil
+	}
+	var err error
+	switch {
+	case t.jsonl != nil:
+		err = t.jsonl.Flush()
+	case t.chrome != nil:
+		err = t.chrome.Export(t.file)
+	}
+	if cerr := t.file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", t.path, err)
+	}
+	return nil
+}
+
+// PrintSummary writes the aggregated counters (and the trace file path) to
+// w. Safe on a nil sink (no output).
+func (t *TraceSink) PrintSummary(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "telemetry (trace written to %s):\n", t.path)
+	snap := t.Counters.Snapshot()
+	snap.WriteSummary(w)
+}

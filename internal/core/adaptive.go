@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lasmq/internal/mlq"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 )
 
@@ -79,6 +80,10 @@ type Adaptive struct {
 	// Scratch reused across rounds.
 	seen     map[int]bool
 	departed []int
+
+	// probe, when non-nil, receives threshold-refit telemetry; queue events
+	// flow from the inner LAS_MQ, which shares the same probe.
+	probe obs.Probe
 }
 
 var (
@@ -86,6 +91,7 @@ var (
 	_ sched.BufferedAssigner = (*Adaptive)(nil)
 	_ sched.Observer         = (*Adaptive)(nil)
 	_ sched.Hinter           = (*Adaptive)(nil)
+	_ obs.ProbeSetter        = (*Adaptive)(nil)
 )
 
 // NewAdaptive validates cfg and returns a fresh adaptive scheduler.
@@ -125,6 +131,14 @@ func NewAdaptive(cfg AdaptiveConfig) (*Adaptive, error) {
 // Name implements sched.Scheduler.
 func (a *Adaptive) Name() string { return "LAS_MQ_ADAPTIVE" }
 
+// SetProbe implements obs.ProbeSetter, forwarding the probe to the inner
+// LAS_MQ so queue-trajectory events keep flowing when the policy is used
+// through the adaptive wrapper.
+func (a *Adaptive) SetProbe(p obs.Probe) {
+	a.probe = p
+	a.inner.SetProbe(p)
+}
+
 // Refits reports how many times the threshold ladder has been refitted.
 func (a *Adaptive) Refits() int { return a.refits }
 
@@ -151,7 +165,7 @@ func (a *Adaptive) Assign(now float64, capacity float64, jobs []sched.JobView) s
 func (a *Adaptive) AssignInto(now float64, capacity float64, jobs []sched.JobView, out sched.Assignment) {
 	a.observe(jobs)
 	if a.dueForRefit() {
-		a.refit()
+		a.refit(now)
 	}
 	a.inner.AssignInto(now, capacity, jobs, out)
 }
@@ -163,7 +177,7 @@ func (a *Adaptive) AssignInto(now float64, capacity float64, jobs []sched.JobVie
 func (a *Adaptive) Observe(now float64, jobs []sched.JobView) {
 	a.observe(jobs)
 	if a.dueForRefit() {
-		a.refit()
+		a.refit(now)
 	}
 	a.inner.Observe(now, jobs)
 }
@@ -220,7 +234,7 @@ func (a *Adaptive) dueForRefit() bool {
 
 // refit rebuilds the exponential ladder from the completion-size history and
 // re-places all tracked jobs under it.
-func (a *Adaptive) refit() {
+func (a *Adaptive) refit(now float64) {
 	k := a.cfg.Queues
 	if k < 2 || len(a.history) == 0 {
 		return
@@ -254,6 +268,9 @@ func (a *Adaptive) refit() {
 	a.inner.resetLevels(levels, a.attained)
 	a.sinceRefit = 0
 	a.refits++
+	if a.probe != nil {
+		a.probe.ThresholdRefit(now, low, step)
+	}
 }
 
 // quantileSorted returns the q-quantile of a sorted slice.

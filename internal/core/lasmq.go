@@ -16,6 +16,7 @@ import (
 	"slices"
 
 	"lasmq/internal/mlq"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 )
 
@@ -109,6 +110,11 @@ type LASMQ struct {
 	seen      map[int]bool
 	remaining map[int]float64
 	weights   []float64
+	departed  []int
+
+	// probe, when non-nil, receives queue-trajectory telemetry (enter/
+	// demote/exit). Emissions never read back into scheduling decisions.
+	probe obs.Probe
 }
 
 var (
@@ -117,6 +123,7 @@ var (
 	_ sched.Observer         = (*LASMQ)(nil)
 	_ sched.ObserveHinter    = (*LASMQ)(nil)
 	_ sched.Hinter           = (*LASMQ)(nil)
+	_ obs.ProbeSetter        = (*LASMQ)(nil)
 )
 
 // New validates cfg and returns a fresh LAS_MQ scheduler.
@@ -143,6 +150,10 @@ func New(cfg Config) (*LASMQ, error) {
 
 // Name implements sched.Scheduler.
 func (s *LASMQ) Name() string { return "LAS_MQ" }
+
+// SetProbe implements obs.ProbeSetter, attaching the telemetry probe that
+// receives queue enter/demote/exit events.
+func (s *LASMQ) SetProbe(p obs.Probe) { s.probe = p }
 
 // Config returns the configuration the scheduler was built with.
 func (s *LASMQ) Config() Config { return s.cfg }
@@ -202,7 +213,7 @@ func (s *LASMQ) Assign(now float64, capacity float64, jobs []sched.JobView) sche
 // deterministic in the current metric, so observing twice at one instant is
 // the same as observing once.
 func (s *LASMQ) Observe(now float64, jobs []sched.JobView) {
-	s.sweep(jobs)
+	s.sweep(now, jobs)
 }
 
 // ObserveHorizon implements sched.ObserveHinter: after an Observe every
@@ -250,7 +261,7 @@ func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, 
 
 	// Algorithm 1: demote-only queue updates, arrivals, departures, and the
 	// incremental within-queue order maintenance (line 10).
-	s.sweep(jobs)
+	s.sweep(now, jobs)
 	s.restoreOrder()
 
 	// Algorithm 2 line 1: split capacity across non-empty queues by weight.
@@ -323,9 +334,9 @@ func (s *LASMQ) AssignInto(now float64, capacity float64, jobs []sched.JobView, 
 // jobs, removal of departed jobs, and in-place demand refresh (which marks
 // the queue dirty instead of re-sorting eagerly). Shared by Observe and
 // AssignInto so skipped rounds keep the persistent order exactly in sync.
-func (s *LASMQ) sweep(jobs []sched.JobView) {
+func (s *LASMQ) sweep(now float64, jobs []sched.JobView) {
 	if !s.orderValid {
-		s.rebuild(jobs)
+		s.rebuild(now, jobs)
 		return
 	}
 	seen := s.seen
@@ -341,6 +352,9 @@ func (s *LASMQ) sweep(jobs []sched.JobView) {
 			q := s.levels.Demote(0, m)
 			s.insertEntry(q, ordEntry{demand: d, seq: seq, id: id})
 			s.tracked[id] = trackRec{queue: q, demand: d, seq: seq}
+			if s.probe != nil {
+				s.probe.QueueEnter(now, id, q)
+			}
 			continue
 		}
 		q := s.levels.Demote(rec.queue, m)
@@ -350,6 +364,9 @@ func (s *LASMQ) sweep(jobs []sched.JobView) {
 			s.removeEntry(rec.queue, rec, id)
 			s.insertEntry(q, ordEntry{demand: d, seq: rec.seq, id: id})
 			s.tracked[id] = trackRec{queue: q, demand: d, seq: rec.seq}
+			if s.probe != nil {
+				s.probe.QueueDemote(now, id, rec.queue, q, m)
+			}
 			continue
 		}
 		if s.cfg.OrderByDemand && d != rec.demand {
@@ -364,17 +381,26 @@ func (s *LASMQ) sweep(jobs []sched.JobView) {
 			s.tracked[id] = rec
 		}
 	}
-	for id, rec := range s.tracked { // range-ok: per-id removal, no accumulation
+	s.departed = s.departed[:0]
+	for id := range s.tracked { // range-ok: per-id collection, order restored by sort below
 		if !seen[id] {
-			s.removeEntry(rec.queue, rec, id)
-			delete(s.tracked, id)
+			s.departed = append(s.departed, id)
+		}
+	}
+	slices.Sort(s.departed) // deterministic departure order for removal + telemetry
+	for _, id := range s.departed {
+		rec := s.tracked[id]
+		s.removeEntry(rec.queue, rec, id)
+		delete(s.tracked, id)
+		if s.probe != nil {
+			s.probe.QueueExit(now, id, rec.queue)
 		}
 	}
 }
 
 // rebuild reconstructs every queue's ordered list from scratch — the cold
 // path, taken after resetLevels invalidates the order wholesale.
-func (s *LASMQ) rebuild(jobs []sched.JobView) {
+func (s *LASMQ) rebuild(now float64, jobs []sched.JobView) {
 	for i := range s.ordered {
 		s.ordered[i] = s.ordered[i][:0]
 		s.touched[i] = false
@@ -384,15 +410,31 @@ func (s *LASMQ) rebuild(jobs []sched.JobView) {
 	for _, j := range jobs {
 		id := j.ID()
 		seen[id] = true
-		rec := s.tracked[id] // zero record places arrivals from the top queue
+		rec, known := s.tracked[id] // zero record places arrivals from the top queue
 		q := s.levels.Demote(rec.queue, s.metric(j))
 		d, seq := j.RemainingDemand(), j.Seq()
 		s.tracked[id] = trackRec{queue: q, demand: d, seq: seq}
 		s.ordered[q] = append(s.ordered[q], ordEntry{demand: d, seq: seq, id: id})
+		if s.probe != nil {
+			if !known {
+				s.probe.QueueEnter(now, id, q)
+			} else if q != rec.queue {
+				s.probe.QueueDemote(now, id, rec.queue, q, s.metric(j))
+			}
+		}
 	}
-	for id := range s.tracked {
+	s.departed = s.departed[:0]
+	for id := range s.tracked { // range-ok: per-id collection, order restored by sort below
 		if !seen[id] {
-			delete(s.tracked, id)
+			s.departed = append(s.departed, id)
+		}
+	}
+	slices.Sort(s.departed)
+	for _, id := range s.departed {
+		rec := s.tracked[id]
+		delete(s.tracked, id)
+		if s.probe != nil {
+			s.probe.QueueExit(now, id, rec.queue)
 		}
 	}
 	for i := range s.ordered {

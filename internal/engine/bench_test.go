@@ -11,6 +11,7 @@ import (
 
 	"lasmq/internal/core"
 	"lasmq/internal/job"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 )
 
@@ -37,15 +38,18 @@ func benchSpecs(n int) []job.Spec {
 // cluster, so subsequent schedule() calls measure pure round overhead.
 // FullReschedule keeps the saturated-round short-circuit out of the way: the
 // benchmark measures the cost of a complete policy + quantize + scan round.
-func newBenchSim(b *testing.B, policy sched.Scheduler) *sim {
-	b.Helper()
+// probe, when non-nil, is attached as the sim's telemetry probe (see
+// BenchmarkScheduleRoundProbed).
+func newBenchSim(tb testing.TB, policy sched.Scheduler, probe obs.Probe) *sim {
+	tb.Helper()
 	cfg := DefaultConfig()
 	cfg.MaxRunningJobs = 0
 	cfg.FullReschedule = true
+	cfg.Probe = probe
 	s := newSim(benchSpecs(200), policy, cfg)
 	t, batch, ok := s.queue.popBatch(nil)
 	if !ok || t != 0 {
-		b.Fatalf("expected an arrival batch at t=0, got t=%v ok=%v", t, ok)
+		tb.Fatalf("expected an arrival batch at t=0, got t=%v ok=%v", t, ok)
 	}
 	for _, ev := range batch {
 		s.handleArrival(ev.jobID)
@@ -53,7 +57,7 @@ func newBenchSim(b *testing.B, policy sched.Scheduler) *sim {
 	s.admit()
 	s.schedule()
 	if s.usedSlots != cfg.Containers {
-		b.Fatalf("bench sim not saturated: %d/%d containers busy", s.usedSlots, cfg.Containers)
+		tb.Fatalf("bench sim not saturated: %d/%d containers busy", s.usedSlots, cfg.Containers)
 	}
 	return s
 }
@@ -76,7 +80,7 @@ func BenchmarkScheduleRound(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			s := newBenchSim(b, tc.mk(b))
+			s := newBenchSim(b, tc.mk(b), nil)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

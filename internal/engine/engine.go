@@ -17,6 +17,7 @@ import (
 
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 	"lasmq/internal/substrate"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// and must produce byte-identical results; it exists as an escape hatch
 	// and for the differential tests that prove the equivalence.
 	FullReschedule bool
+	// Probe, when non-nil, receives telemetry events (see internal/obs). A
+	// nil probe costs nothing on the hot path, and an attached probe must
+	// not perturb results — probed and unprobed runs are byte-identical.
+	Probe obs.Probe
 }
 
 // DefaultConfig returns the paper's testbed configuration with failures,
@@ -177,8 +182,9 @@ type event struct {
 }
 
 type sim struct {
-	cfg Config
-	rng *rand.Rand
+	cfg   Config
+	rng   *rand.Rand
+	probe obs.Probe // nil-checked at every emission site
 
 	// Kernel modules: policy capability dispatch and observation gating
 	// (driver) and the FIFO admission module (adm). The embedded arena holds
@@ -216,19 +222,39 @@ type specCand struct {
 
 func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
 	ar := arenaPool.Get().(*arena)
+	reused := cap(ar.jobs) > 0
 	ar.build(specs)
 	s := &sim{
 		cfg:       cfg,
+		probe:     cfg.Probe,
 		driver:    substrate.NewDriver(policy),
 		adm:       substrate.NewQueue[*jobState](cfg.MaxRunningJobs),
 		rng:       dist.New(cfg.Seed),
 		arena:     ar,
 		remaining: len(specs),
 	}
+	s.driver.SetProbe(cfg.Probe)
+	if s.probe != nil {
+		s.probe.ArenaReuse(len(specs), len(ar.tasks), reused)
+	}
 	for i := range specs {
-		s.queue.push(specs[i].Arrival, event{kind: evArrival, jobID: specs[i].ID})
+		s.push(specs[i].Arrival, event{kind: evArrival, jobID: specs[i].ID})
 	}
 	return s
+}
+
+// push enqueues a simulator event, reporting the one-time heap->ladder
+// migration to the probe when it happens inside this push.
+func (s *sim) push(t float64, ev event) {
+	if s.probe == nil {
+		s.queue.push(t, ev)
+		return
+	}
+	wasLadder := s.queue.useLadder
+	s.queue.push(t, ev)
+	if !wasLadder && s.queue.useLadder {
+		s.probe.EventqMigrate(s.now, s.queue.ladder.Len())
+	}
 }
 
 // release scrubs the sim's arena and returns it to the pool. The sim must
@@ -291,6 +317,9 @@ func (s *sim) handleArrival(jobID int) {
 	js := s.byID[jobID]
 	js.arrived = true
 	s.adm.Push(js)
+	if s.probe != nil {
+		s.probe.JobSubmitted(s.now, jobID)
+	}
 }
 
 // admit releases waiting jobs into the cluster while the admission limit
@@ -302,6 +331,9 @@ func (s *sim) admit() {
 		js.seq = seq
 		s.readySlots += js.readyContainersTotal()
 		s.driver.MarkDirty() // the schedulable job set changed
+		if s.probe != nil {
+			s.probe.JobAdmitted(s.now, js.spec.ID, s.now-js.spec.Arrival)
+		}
 	})
 }
 
@@ -318,6 +350,9 @@ func (s *sim) handleAttemptDone(attemptID int) {
 
 	if !a.success {
 		js.failures++
+		if s.probe != nil {
+			s.probe.TaskFail(s.now, a.jobID, a.stage, a.task, a.start)
+		}
 		// Re-queue the task unless a sibling attempt is still running.
 		if task.runningAttempts == 0 && !task.done {
 			s.requeueTask(st, a.task)
@@ -331,6 +366,9 @@ func (s *sim) handleAttemptDone(attemptID int) {
 	task.done = true
 	st.doneTasks++
 	st.doneContainers += task.spec.Containers
+	if s.probe != nil {
+		s.probe.TaskDone(s.now, a.jobID, a.stage, a.task, a.start, a.speculative)
+	}
 
 	// Kill the remaining sibling attempts of the completed task.
 	for _, sibID := range task.attemptIDs {
@@ -386,6 +424,9 @@ func (s *sim) completeStage(js *jobState, idx int) {
 	st := &js.stages[idx]
 	st.completed = true
 	st.active = false
+	if s.probe != nil {
+		s.probe.StageDone(s.now, js.spec.ID, idx)
+	}
 	js.completedStagesService += st.finalizedService
 	js.doneStages++
 	js.deactivateStage(idx)
@@ -407,6 +448,9 @@ func (s *sim) completeStage(js *jobState, idx int) {
 	s.remaining--
 	if s.now > s.makespan {
 		s.makespan = s.now
+	}
+	if s.probe != nil {
+		s.probe.JobDone(s.now, js.spec.ID, s.now-js.spec.Arrival)
 	}
 }
 
@@ -583,6 +627,12 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 	}
 	task.attemptIDs = append(task.attemptIDs, a.id)
 	task.runningAttempts++
+	if s.probe != nil {
+		if js.attempts == 0 {
+			s.probe.JobStarted(s.now, js.spec.ID)
+		}
+		s.probe.TaskStart(s.now, js.spec.ID, stage, taskIdx, a.containers, speculative)
+	}
 	js.attempts++
 	if speculative {
 		js.speculative++
@@ -597,7 +647,7 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		st.startInvDurSum += a.invDur * a.start
 	}
 	s.usedSlots += a.containers
-	s.queue.push(s.now+runtime, event{kind: evAttemptDone, attempt: a.id})
+	s.push(s.now+runtime, event{kind: evAttemptDone, attempt: a.id})
 }
 
 // speculate launches duplicate copies of the running tasks with the largest
@@ -705,5 +755,6 @@ func (s *sim) result() *Result {
 		})
 		res.Record(js.spec.Bin, js.completedAt-js.spec.Arrival)
 	}
+	res.FoldCounters(s.probe)
 	return res
 }

@@ -46,7 +46,11 @@ func (s *sim) canSkipRound() bool {
 // engine supplies the metric-rate bounds below; the gating itself lives in
 // substrate.Driver.
 func (s *sim) observeRound() {
-	if !s.driver.ObservationDue(s.now) {
+	due := s.driver.ObservationDue(s.now)
+	if s.probe != nil {
+		s.probe.RoundSkipped(s.now, due)
+	}
+	if !due {
 		return
 	}
 	s.collectViews(false, s.driver.NeedsRates())

@@ -12,6 +12,7 @@ import (
 
 	"lasmq/internal/core"
 	"lasmq/internal/engine"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	// differential test enforces this); the knob exists for that test and as
 	// an escape hatch.
 	FullReschedule bool
+	// Probe receives telemetry events (see internal/obs) from every engine
+	// and fluid run an experiment performs. It is observation only: results
+	// must be bit-for-bit identical with and without a probe (a differential
+	// test enforces this), so it is deliberately NOT part of the replication
+	// cache fingerprint. Experiments that take no Options (Fig1) run
+	// unprobed.
+	Probe obs.Probe
 }
 
 // Defaults fills unset fields with paper-scale values.
@@ -75,6 +83,7 @@ func (o Options) Defaults() Options {
 func (o Options) engineConfig() engine.Config {
 	cfg := engine.DefaultConfig()
 	cfg.FullReschedule = o.FullReschedule
+	cfg.Probe = o.Probe
 	return cfg
 }
 

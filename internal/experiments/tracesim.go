@@ -35,6 +35,7 @@ func Fig7HeavyTailed(opts Options) (*TraceResult, error) {
 	}
 	fcfg := fluid.DefaultConfig()
 	fcfg.Capacity = tcfg.Capacity
+	fcfg.Probe = opts.Probe
 	return runTrace(specs, fcfg, traceLASMQ)
 }
 
@@ -48,7 +49,7 @@ func Fig7Uniform(opts Options) (*TraceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fcfg := fluid.Config{Capacity: 1, TaskDuration: 1}
+	fcfg := fluid.Config{Capacity: 1, TaskDuration: 1, Probe: opts.Probe}
 	return runTrace(specs, fcfg, traceLASMQ)
 }
 
@@ -70,6 +71,7 @@ func Scale100k(opts Options) (*TraceResult, error) {
 	}
 	fcfg := fluid.DefaultConfig()
 	fcfg.Capacity = tcfg.Capacity
+	fcfg.Probe = opts.Probe
 	return runTrace(specs, fcfg, traceLASMQ)
 }
 
@@ -202,6 +204,7 @@ func fig8Setup(opts Options) ([]fluid.JobSpec, fluid.Config, float64, error) {
 	}
 	fcfg := fluid.DefaultConfig()
 	fcfg.Capacity = tcfg.Capacity
+	fcfg.Probe = opts.Probe
 	fairRun, err := fluid.Run(specs, sched.NewFair(), fcfg)
 	if err != nil {
 		return nil, fluid.Config{}, 0, err

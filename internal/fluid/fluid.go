@@ -19,6 +19,7 @@ import (
 	"slices"
 	"sync"
 
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 	"lasmq/internal/substrate"
 )
@@ -54,6 +55,9 @@ type Config struct {
 	// MaxRunningJobs bounds concurrently running jobs, mirroring the paper's
 	// admission module; 0 means unlimited (the trace simulations' setting).
 	MaxRunningJobs int
+	// Probe, when non-nil, receives telemetry events (see internal/obs).
+	// Attached probes never perturb results; a nil probe costs nothing.
+	Probe obs.Probe
 }
 
 // DefaultConfig returns the heavy-tailed trace configuration: 100 containers,
@@ -260,6 +264,7 @@ func (a *arena) scrub() {
 type sim struct {
 	cfg    Config
 	specs  []JobSpec
+	probe  obs.Probe
 	driver *substrate.Driver
 	adm    *substrate.Queue[*fluidJob]
 	*arena
@@ -274,14 +279,21 @@ type sim struct {
 
 func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
 	ar := arenaPool.Get().(*arena)
+	reused := cap(ar.jobs) > 0
 	ar.build(specs, cfg.TaskDuration)
-	return &sim{
+	s := &sim{
 		cfg:    cfg,
 		specs:  specs,
+		probe:  cfg.Probe,
 		driver: substrate.NewDriver(policy),
 		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
 		arena:  ar,
 	}
+	s.driver.SetProbe(cfg.Probe)
+	if s.probe != nil {
+		s.probe.ArenaReuse(len(specs), 0, reused)
+	}
+	return s
 }
 
 // release scrubs the sim's arena and returns it to the pool. The sim must
@@ -299,6 +311,9 @@ func (s *sim) admit() {
 	s.adm.Admit(func(j *fluidJob, seq int) {
 		j.seq = seq
 		s.active = append(s.active, j)
+		if s.probe != nil {
+			s.probe.JobAdmitted(s.now, j.spec.ID, math.Max(0, s.now-j.spec.Arrival))
+		}
 	})
 }
 
@@ -308,6 +323,9 @@ func (s *sim) run() error {
 		// Admit arrivals due by now.
 		for s.pi < len(s.pending) && s.pending[s.pi].spec.Arrival <= s.now+1e-12 {
 			s.adm.Push(s.pending[s.pi])
+			if s.probe != nil {
+				s.probe.JobSubmitted(s.now, s.pending[s.pi].spec.ID)
+			}
 			s.pi++
 		}
 		s.admit()
@@ -394,6 +412,9 @@ func (s *sim) run() error {
 				if s.now > s.makespan {
 					s.makespan = s.now
 				}
+				if s.probe != nil {
+					s.probe.JobDone(s.now, j.spec.ID, response)
+				}
 				continue
 			}
 			live = append(live, j)
@@ -417,5 +438,6 @@ func (s *sim) result() *Result {
 		res.Record(0, jr.ResponseTime)
 		res.RecordSlowdown(jr.Slowdown)
 	}
+	res.FoldCounters(s.probe)
 	return res
 }

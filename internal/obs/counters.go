@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CounterSnapshot is an immutable copy of a Counters sink's aggregates.
+// It is the form folded into substrate.Result and served by lasmq-live's
+// debug endpoint.
+type CounterSnapshot struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsAdmitted  int64 `json:"jobs_admitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	// PeakAdmissionBacklog is the high-water mark of submitted-but-not-yet-
+	// admitted jobs.
+	PeakAdmissionBacklog int64   `json:"peak_admission_backlog"`
+	MaxAdmissionWait     float64 `json:"max_admission_wait"`
+
+	TasksLaunched  int64 `json:"tasks_launched"`
+	TasksCompleted int64 `json:"tasks_completed"`
+	TaskFailures   int64 `json:"task_failures"`
+	// SpecLaunches counts speculative copies launched; SpecWins counts the
+	// ones that finished before the original attempt.
+	SpecLaunches int64 `json:"spec_launches"`
+	SpecWins     int64 `json:"spec_wins"`
+
+	// Demotions[q] counts LAS_MQ demotions whose destination was queue q.
+	Demotions []int64 `json:"demotions,omitempty"`
+	Refits    int64   `json:"refits"`
+
+	RoundsExecuted int64 `json:"rounds_executed"`
+	RoundsSkipped  int64 `json:"rounds_skipped"`
+	// RoundsObserved counts skipped rounds that still replayed policy
+	// observation (a subset of RoundsSkipped).
+	RoundsObserved int64 `json:"rounds_observed"`
+
+	EventqMigrations int64 `json:"eventq_migrations"`
+	ArenaReuses      int64 `json:"arena_reuses"`
+}
+
+// TotalDemotions sums demotions across destination queues.
+func (s CounterSnapshot) TotalDemotions() int64 {
+	var total int64
+	for _, n := range s.Demotions {
+		total += n
+	}
+	return total
+}
+
+// SkippedRoundRatio is skipped / (skipped + executed), or 0 with no rounds.
+func (s CounterSnapshot) SkippedRoundRatio() float64 {
+	total := s.RoundsExecuted + s.RoundsSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RoundsSkipped) / float64(total)
+}
+
+// WriteSummary prints the snapshot as an aligned key/value block, the form
+// lasmq-bench and lasmq-sim append after their result tables.
+func (s CounterSnapshot) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "  jobs submitted/admitted/completed  %d / %d / %d\n",
+		s.JobsSubmitted, s.JobsAdmitted, s.JobsCompleted)
+	fmt.Fprintf(w, "  peak admission backlog             %d (max wait %.3f)\n",
+		s.PeakAdmissionBacklog, s.MaxAdmissionWait)
+	fmt.Fprintf(w, "  tasks launched/completed/failed    %d / %d / %d\n",
+		s.TasksLaunched, s.TasksCompleted, s.TaskFailures)
+	if s.SpecLaunches > 0 {
+		fmt.Fprintf(w, "  speculative launches/wins          %d / %d\n", s.SpecLaunches, s.SpecWins)
+	}
+	if n := s.TotalDemotions(); n > 0 {
+		fmt.Fprintf(w, "  queue demotions                    %d (per dest queue %v)\n", n, s.Demotions)
+	}
+	if s.Refits > 0 {
+		fmt.Fprintf(w, "  threshold refits                   %d\n", s.Refits)
+	}
+	fmt.Fprintf(w, "  rounds executed/skipped            %d / %d (skip ratio %.3f, %d observed)\n",
+		s.RoundsExecuted, s.RoundsSkipped, s.SkippedRoundRatio(), s.RoundsObserved)
+	if s.EventqMigrations > 0 {
+		fmt.Fprintf(w, "  eventq heap->ladder migrations     %d\n", s.EventqMigrations)
+	}
+	if s.ArenaReuses > 0 {
+		fmt.Fprintf(w, "  arena reuses                       %d\n", s.ArenaReuses)
+	}
+}
+
+// Counters is an aggregating Probe sink. It is safe for concurrent use:
+// the live cluster's resource manager emits events while the HTTP debug
+// endpoint snapshots them.
+type Counters struct {
+	mu sync.Mutex
+	s  CounterSnapshot
+	// backlog tracks submitted - admitted to maintain the high-water mark.
+	backlog int64
+}
+
+// NewCounters returns an empty Counters sink.
+func NewCounters() *Counters { return &Counters{} }
+
+// Snapshot returns a copy of the current aggregates.
+func (c *Counters) Snapshot() CounterSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := c.s
+	snap.Demotions = append([]int64(nil), c.s.Demotions...)
+	return snap
+}
+
+func (c *Counters) JobSubmitted(float64, int) {
+	c.mu.Lock()
+	c.s.JobsSubmitted++
+	c.backlog++
+	if c.backlog > c.s.PeakAdmissionBacklog {
+		c.s.PeakAdmissionBacklog = c.backlog
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) JobAdmitted(_ float64, _ int, waited float64) {
+	c.mu.Lock()
+	c.s.JobsAdmitted++
+	c.backlog--
+	if waited > c.s.MaxAdmissionWait {
+		c.s.MaxAdmissionWait = waited
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) JobStarted(float64, int) {}
+
+func (c *Counters) StageDone(float64, int, int) {}
+
+func (c *Counters) JobDone(float64, int, float64) {
+	c.mu.Lock()
+	c.s.JobsCompleted++
+	c.mu.Unlock()
+}
+
+func (c *Counters) TaskStart(_ float64, _, _, _, _ int, speculative bool) {
+	c.mu.Lock()
+	c.s.TasksLaunched++
+	if speculative {
+		c.s.SpecLaunches++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) TaskDone(_ float64, _, _, _ int, _ float64, speculative bool) {
+	c.mu.Lock()
+	c.s.TasksCompleted++
+	if speculative {
+		c.s.SpecWins++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) TaskFail(float64, int, int, int, float64) {
+	c.mu.Lock()
+	c.s.TaskFailures++
+	c.mu.Unlock()
+}
+
+func (c *Counters) QueueEnter(float64, int, int) {}
+
+func (c *Counters) QueueDemote(_ float64, _, _, to int, _ float64) {
+	c.mu.Lock()
+	for len(c.s.Demotions) <= to {
+		c.s.Demotions = append(c.s.Demotions, 0)
+	}
+	c.s.Demotions[to]++
+	c.mu.Unlock()
+}
+
+func (c *Counters) QueueExit(float64, int, int) {}
+
+func (c *Counters) ThresholdRefit(float64, float64, float64) {
+	c.mu.Lock()
+	c.s.Refits++
+	c.mu.Unlock()
+}
+
+func (c *Counters) RoundExecuted(float64, int) {
+	c.mu.Lock()
+	c.s.RoundsExecuted++
+	c.mu.Unlock()
+}
+
+func (c *Counters) RoundSkipped(_ float64, observed bool) {
+	c.mu.Lock()
+	c.s.RoundsSkipped++
+	if observed {
+		c.s.RoundsObserved++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) EventqMigrate(float64, int) {
+	c.mu.Lock()
+	c.s.EventqMigrations++
+	c.mu.Unlock()
+}
+
+func (c *Counters) ArenaReuse(_, _ int, reused bool) {
+	c.mu.Lock()
+	if reused {
+		c.s.ArenaReuses++
+	}
+	c.mu.Unlock()
+}

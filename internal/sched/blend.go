@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"math"
+
+	"lasmq/internal/obs"
 )
 
 // Blend mixes two policies' allocations convexly — the paper's second
@@ -28,7 +30,9 @@ var (
 	_ Scheduler        = (*Blend)(nil)
 	_ BufferedAssigner = (*Blend)(nil)
 	_ Observer         = (*Blend)(nil)
+	_ ObserveHinter    = (*Blend)(nil)
 	_ Hinter           = (*Blend)(nil)
+	_ obs.ProbeSetter  = (*Blend)(nil)
 )
 
 // NewBlend returns a scheduler allocating
@@ -50,6 +54,17 @@ func (b *Blend) Name() string {
 
 // Theta returns the blend parameter.
 func (b *Blend) Theta() float64 { return b.theta }
+
+// SetProbe implements obs.ProbeSetter by forwarding the probe to both
+// components, so a blend wrapping LAS_MQ keeps demotion telemetry flowing.
+func (b *Blend) SetProbe(p obs.Probe) {
+	if ps, ok := b.primary.(obs.ProbeSetter); ok {
+		ps.SetProbe(p)
+	}
+	if ps, ok := b.secondary.(obs.ProbeSetter); ok {
+		ps.SetProbe(p)
+	}
+}
 
 // Assign implements Scheduler.
 func (b *Blend) Assign(now float64, capacity float64, jobs []JobView) Assignment {
@@ -96,6 +111,38 @@ func (b *Blend) Observe(now float64, jobs []JobView) {
 	if o, ok := b.secondary.(Observer); ok && b.theta > 0 {
 		o.Observe(now, jobs)
 	}
+}
+
+// ObserveHorizon implements ObserveHinter so that wrapping a horizon-
+// hinting policy (LAS_MQ) in a blend does not silently disable the
+// substrate's observation gating. The blend's horizon is the minimum over
+// its active components (primary when theta < 1, secondary when theta > 0):
+// a horizon-hinting component contributes its own horizon, a stateful
+// component without a hint forces `now` (it must be observed every round —
+// the conservative answer), and a stateless component never constrains.
+func (b *Blend) ObserveHorizon(now float64, jobs []JobView, rates Assignment) float64 {
+	horizon := math.Inf(1)
+	if b.theta < 1 {
+		if t := componentObserveHorizon(b.primary, now, jobs, rates); t < horizon {
+			horizon = t
+		}
+	}
+	if b.theta > 0 {
+		if t := componentObserveHorizon(b.secondary, now, jobs, rates); t < horizon {
+			horizon = t
+		}
+	}
+	return horizon
+}
+
+func componentObserveHorizon(c Scheduler, now float64, jobs []JobView, rates Assignment) float64 {
+	if h, ok := c.(ObserveHinter); ok {
+		return h.ObserveHorizon(now, jobs, rates)
+	}
+	if _, ok := c.(Observer); ok {
+		return now
+	}
+	return math.Inf(1)
 }
 
 // Horizon implements Hinter: the earliest change point of either component,

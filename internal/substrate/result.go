@@ -1,5 +1,7 @@
 package substrate
 
+import "lasmq/internal/obs"
+
 // Result is the run-outcome accumulator embedded in every substrate's
 // result type, deduplicating the response-time/slowdown/per-bin method sets
 // the engine and fluid results used to reimplement separately. Substrates
@@ -15,10 +17,25 @@ type Result struct {
 	// Utilization is the time-averaged fraction of capacity in use over the
 	// makespan.
 	Utilization float64
+	// Counters holds the final aggregate snapshot when the run was driven
+	// with an obs.Counters sink attached to its probe; nil otherwise. It is
+	// telemetry about the run, not part of the simulated outcome —
+	// differential tests that compare probed against unprobed runs null it
+	// before comparing.
+	Counters *obs.CounterSnapshot
 
 	bins      []int
 	responses []float64
 	slowdowns []float64
+}
+
+// FoldCounters captures the final snapshot of the Counters sink attached to
+// probe, if any. Substrates call it once while building their result.
+func (r *Result) FoldCounters(probe obs.Probe) {
+	if c := obs.FindCounters(probe); c != nil {
+		snap := c.Snapshot()
+		r.Counters = &snap
+	}
 }
 
 // Record appends one finished job's Table-I bin (0 when the workload has no

@@ -31,6 +31,7 @@ package substrate
 import (
 	"math"
 
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 )
 
@@ -47,6 +48,7 @@ type Driver struct {
 	obsHinter sched.ObserveHinter
 	hinter    sched.Hinter
 	alloc     sched.Assignment
+	probe     obs.Probe
 
 	// Observation gating for skipped rounds: obsHorizon is the earliest time
 	// the policy's state could change, valid while dirty is false.
@@ -76,6 +78,16 @@ func NewDriver(policy sched.Scheduler) *Driver {
 // Policy returns the wrapped scheduler.
 func (d *Driver) Policy() sched.Scheduler { return d.policy }
 
+// SetProbe attaches a telemetry probe to the driver and, when the policy
+// (or a wrapper around it) emits its own events, forwards the probe through
+// obs.ProbeSetter. A nil probe detaches telemetry everywhere.
+func (d *Driver) SetProbe(p obs.Probe) {
+	d.probe = p
+	if ps, ok := d.policy.(obs.ProbeSetter); ok {
+		ps.SetProbe(p)
+	}
+}
+
 // Name reports the policy name for results.
 func (d *Driver) Name() string { return d.policy.Name() }
 
@@ -86,6 +98,9 @@ func (d *Driver) Name() string { return d.policy.Name() }
 // any previously computed observation horizon.
 func (d *Driver) Assign(now, capacity float64, views []sched.JobView) sched.Assignment {
 	d.dirty = true
+	if d.probe != nil {
+		d.probe.RoundExecuted(now, len(views))
+	}
 	if d.buffered != nil {
 		d.buffered.AssignInto(now, capacity, views, d.alloc)
 		return d.alloc

@@ -16,6 +16,7 @@ type application struct {
 	submittedAt time.Time
 	admittedAt  time.Time
 	admitted    bool
+	started     bool // first attempt launched (telemetry only)
 	seq         int
 
 	stages       []appStage

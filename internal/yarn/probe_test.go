@@ -1,0 +1,80 @@
+package yarn
+
+import (
+	"testing"
+	"time"
+
+	"lasmq/internal/core"
+	"lasmq/internal/obs"
+)
+
+// TestLiveClusterTelemetry runs a small workload with failure injection and
+// an admission limit against the obs.Counters sink and checks the aggregate
+// invariants hold on the live (wall-clock, concurrent) substrate: job and
+// task accounting balances, the admission module produced a backlog, and
+// LAS_MQ emitted demotion events through the live driver.
+func TestLiveClusterTelemetry(t *testing.T) {
+	counters := obs.NewCounters()
+	cfg := fastConfig()
+	cfg.MaxRunningJobs = 2
+	cfg.FailureProb = 0.2
+	cfg.Seed = 5
+	cfg.Probe = counters
+
+	mq, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg, mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	const jobs = 6
+	for id := 1; id <= jobs; id++ {
+		var spec = uniformJob(id, 3, 40+20*float64(id))
+		if id%2 == 0 {
+			spec = mapReduceJob(id, 3, 50, 1, 30)
+		}
+		spec.ID = id
+		if err := c.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	reports := drain(t, c)
+	if len(reports) != jobs {
+		t.Fatalf("%d reports, want %d", len(reports), jobs)
+	}
+
+	s := counters.Snapshot()
+	if s.JobsSubmitted != jobs || s.JobsAdmitted != jobs || s.JobsCompleted != jobs {
+		t.Fatalf("job accounting: submitted=%d admitted=%d completed=%d, want all %d",
+			s.JobsSubmitted, s.JobsAdmitted, s.JobsCompleted, jobs)
+	}
+	if s.TasksCompleted+s.TaskFailures != s.TasksLaunched {
+		t.Fatalf("task accounting: %d done + %d failed != %d launched",
+			s.TasksCompleted, s.TaskFailures, s.TasksLaunched)
+	}
+	var wantFailures int64
+	for _, rep := range reports {
+		wantFailures += int64(rep.Failures)
+	}
+	if s.TaskFailures != wantFailures {
+		t.Fatalf("TaskFailures=%d, reports say %d", s.TaskFailures, wantFailures)
+	}
+	if s.PeakAdmissionBacklog == 0 {
+		t.Error("MaxRunningJobs=2 on 6 jobs should have produced an admission backlog")
+	}
+	if s.RoundsExecuted == 0 {
+		t.Error("no RoundExecuted events from the live driver")
+	}
+	if s.TotalDemotions() == 0 {
+		t.Error("LAS_MQ demoted no jobs despite long-running tasks")
+	}
+	if s.MaxAdmissionWait < 0 {
+		t.Errorf("negative admission wait %v", s.MaxAdmissionWait)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"lasmq/internal/dist"
 	"lasmq/internal/job"
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
 	"lasmq/internal/substrate"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	// HeartbeatInterval is the scheduling heartbeat; scheduling also runs on
 	// every task completion and submission, so the heartbeat is a backstop.
 	HeartbeatInterval time.Duration
+	// Probe receives telemetry events (see internal/obs). All events are
+	// emitted from the ResourceManager goroutine with timestamps in spec
+	// seconds (wall nanoseconds divided by TimeScale), the same clock the
+	// policies observe. A nil probe costs nothing; sinks that are read
+	// concurrently (e.g. obs.Counters behind an HTTP endpoint) must be
+	// internally synchronized.
+	Probe obs.Probe
 }
 
 // DefaultConfig returns a 4-node cluster of 30 containers each (the paper's
@@ -390,6 +398,7 @@ type resourceManager struct {
 	vs     substrate.ViewSet
 	quant  sched.Quantizer
 	cands  []launchCand
+	probe  obs.Probe
 
 	apps      map[int]*application
 	rng       *rand.Rand
@@ -412,7 +421,7 @@ func newResourceManager(c *Cluster) *resourceManager {
 	for i := range free {
 		free[i] = c.cfg.ContainersPerNode
 	}
-	return &resourceManager{
+	rm := &resourceManager{
 		cluster:       c,
 		submissions:   make(chan submission),
 		completions:   make(chan completion, c.cfg.Nodes*c.cfg.ContainersPerNode),
@@ -423,7 +432,16 @@ func newResourceManager(c *Cluster) *resourceManager {
 		apps:          make(map[int]*application),
 		rng:           dist.New(c.cfg.Seed),
 		freeOn:        free,
+		probe:         c.cfg.Probe,
 	}
+	rm.driver.SetProbe(c.cfg.Probe)
+	return rm
+}
+
+// specTime converts a wall-clock instant to the spec-second clock every
+// telemetry event and policy invocation uses.
+func (rm *resourceManager) specTime(t time.Time) float64 {
+	return float64(t.UnixNano()) / float64(rm.cluster.cfg.TimeScale)
 }
 
 func (rm *resourceManager) run() {
@@ -459,6 +477,9 @@ func (rm *resourceManager) handleSubmission(sub submission) {
 	rm.order = append(rm.order, sub.spec.ID)
 	rm.adm.Push(app)
 	rm.remaining++
+	if rm.probe != nil {
+		rm.probe.JobSubmitted(rm.specTime(app.submittedAt), app.spec.ID)
+	}
 }
 
 func (rm *resourceManager) admit() {
@@ -466,6 +487,10 @@ func (rm *resourceManager) admit() {
 		app.admitted = true
 		app.admittedAt = time.Now()
 		app.seq = seq
+		if rm.probe != nil {
+			waited := float64(app.admittedAt.Sub(app.submittedAt)) / float64(rm.cluster.cfg.TimeScale)
+			rm.probe.JobAdmitted(rm.specTime(app.admittedAt), app.spec.ID, waited)
+		}
 	})
 }
 
@@ -476,6 +501,17 @@ func (rm *resourceManager) handleCompletion(comp completion) {
 		return
 	}
 	app.completeTask(comp, rm.cluster.cfg.TimeScale)
+	if rm.probe != nil {
+		now, start := rm.specTime(comp.finished), rm.specTime(comp.started)
+		if comp.success {
+			rm.probe.TaskDone(now, comp.jobID, comp.stage, comp.task, start, false)
+			if app.stages[comp.stage].completed {
+				rm.probe.StageDone(now, comp.jobID, comp.stage)
+			}
+		} else {
+			rm.probe.TaskFail(now, comp.jobID, comp.stage, comp.task, start)
+		}
+	}
 	if app.done() {
 		rm.finishApp(app)
 	}
@@ -499,6 +535,9 @@ func (rm *resourceManager) finishApp(app *application) {
 		LocalTasks:  app.localTasks,
 		RemoteTasks: app.remoteTasks,
 	})
+	if rm.probe != nil {
+		rm.probe.JobDone(rm.specTime(now), app.spec.ID, rm.reports[len(rm.reports)-1].Response)
+	}
 	delete(rm.apps, app.spec.ID)
 	if rm.remaining == 0 {
 		for _, done := range rm.drainers {
@@ -545,6 +584,9 @@ func (rm *resourceManager) admitAndSchedule() {
 		return
 	}
 	if rm.totalFree() == 0 || ready == 0 {
+		if rm.probe != nil {
+			rm.probe.RoundSkipped(policyNow, true)
+		}
 		rm.driver.Observe(policyNow, &rm.vs)
 		return
 	}
@@ -649,7 +691,15 @@ func (rm *resourceManager) launchNext(app *application, reserved int) (launched 
 	}
 	if node >= 0 {
 		rm.freeOn[node] -= spec.Containers
-		app.markLaunched(stage, taskIdx, spec.Containers, time.Now())
+		start := time.Now()
+		if rm.probe != nil {
+			if !app.started {
+				app.started = true
+				rm.probe.JobStarted(rm.specTime(start), app.spec.ID)
+			}
+			rm.probe.TaskStart(rm.specTime(start), app.spec.ID, stage, taskIdx, spec.Containers, false)
+		}
+		app.markLaunched(stage, taskIdx, spec.Containers, start)
 		// Failure injection: a failed attempt dies after a uniform fraction
 		// of its duration without completing the task. Real work (TaskWork)
 		// is never failure-injected: its outcome is the work itself.
