@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare probe-gate reproduce replicate examples clean
+.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare probe-gate crosscheck reproduce replicate examples clean
 
 all: build vet test
 
 # Full pre-merge gate: map-range lint, build, vet, tests, race detector,
 # one race-enabled iteration of the engine benchmarks (bench-smoke, so the
-# benchmark tier itself cannot rot or race silently), and the telemetry
-# zero-overhead assertion (probe-gate).
-check: lint build vet test test-race bench-smoke probe-gate
+# benchmark tier itself cannot rot or race silently), the telemetry
+# zero-overhead assertion (probe-gate), and the analytic M/M/1 cross-check
+# (crosscheck).
+check: lint build vet test test-race bench-smoke probe-gate crosscheck
 
 # Policy/kernel packages whose float-bearing maps the lint watches.
 LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/yarn
@@ -84,6 +85,14 @@ bench-smoke:
 # cannot mask a regression introduced by an unrelated package.
 probe-gate:
 	$(GO) test -run '^TestScheduleRoundNilProbeZeroAlloc$$' -count=1 ./internal/engine
+
+# Analytic M/M/1 cross-check: drive the fluid and engine substrates with
+# M/M/1 workloads at rho in {0.5, 0.7, 0.9} and assert FIFO/PS/SRPT/LAS
+# means converge to the closed forms in internal/analytic (-count=1 so a
+# cached pass cannot mask drift introduced by a substrate change). Scale up
+# with LASMQ_CROSSCHECK_JOBS / LASMQ_CROSSCHECK_SEEDS for a sharper run.
+crosscheck:
+	$(GO) test -run '^TestCrossCheck' -count=1 ./internal/analytic
 
 .PHONY: bench_engine.out
 bench-baseline: bench_engine.out

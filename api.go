@@ -3,8 +3,10 @@ package lasmq
 import (
 	"io"
 
+	"lasmq/internal/analytic"
 	"lasmq/internal/core"
 	"lasmq/internal/dfs"
+	"lasmq/internal/dist"
 	"lasmq/internal/engine"
 	"lasmq/internal/experiments"
 	"lasmq/internal/fluid"
@@ -88,6 +90,26 @@ func NewSJF() Scheduler { return sched.NewSJF() }
 // NewSRTF returns the shortest-remaining-time-first baseline (requires size
 // hints).
 func NewSRTF() Scheduler { return sched.NewSRTF() }
+
+// NewPS returns the processor-sharing baseline: equal fluid shares across all
+// runnable jobs — the oblivious sharing reference the price-of-obliviousness
+// experiment normalizes against.
+func NewPS() Scheduler { return sched.NewPS() }
+
+// NewSRPT returns the exact shortest-remaining-processing-time baseline: the
+// clairvoyant optimum, reading exact remaining service rather than the
+// possibly-perturbed size hints SRTF uses.
+func NewSRPT() Scheduler { return sched.NewSRPT() }
+
+// ServiceDist is an analytic service-time distribution — tail, mean, and
+// upper support — the prior knowledge the Gittins baseline schedules from.
+type ServiceDist = dist.Service
+
+// NewGittins returns the Gittins-index baseline: the optimal non-anticipating
+// policy given the service distribution of job sizes. A nil service falls
+// back to the unit-mean exponential, whose constant index degrades the policy
+// to FIFO (which is optimal there).
+func NewGittins(service ServiceDist) Scheduler { return sched.NewGittins(service) }
 
 // Task-level cluster simulation (the YARN substrate).
 type (
@@ -383,4 +405,34 @@ var (
 	Fig8Queues = experiments.Fig8Queues
 	// Fig8Thresholds reproduces the first-threshold sensitivity sweep.
 	Fig8Thresholds = experiments.Fig8Thresholds
+	// PriceOfObliviousness runs the information-hierarchy sweep: SRPT,
+	// Gittins, LAS_MQ, LAS, PS and FIFO on the congested Table-I mix.
+	PriceOfObliviousness = experiments.PriceOfObliviousness
+)
+
+// Analytic queueing baselines (see DESIGN.md, "Analytic cross-check"): the
+// closed forms and the numeric M/G/1 evaluator that the crosscheck test
+// family validates both simulators against.
+type (
+	// MG1 is the numeric M/G/1 evaluator: mean response time under FCFS, PS,
+	// SRPT and LAS for an arbitrary service distribution.
+	MG1 = analytic.MG1
+)
+
+// NewMG1 builds an M/G/1 evaluator at arrival rate lambda for the service
+// distribution (points <= 0 selects the default grid resolution).
+func NewMG1(lambda float64, service ServiceDist, points int) (*MG1, error) {
+	return analytic.NewMG1(lambda, service, points)
+}
+
+// Closed-form M/M/1 mean response times.
+var (
+	// MM1FCFS is the M/M/1 FCFS mean response time, 1/(mu-lambda).
+	MM1FCFS = analytic.MM1FCFS
+	// MM1PS is the M/M/1 processor-sharing mean response time.
+	MM1PS = analytic.MM1PS
+	// MM1LAS is the M/M/1 least-attained-service mean response time.
+	MM1LAS = analytic.MM1LAS
+	// MM1SRPT is the M/M/1 SRPT mean response time (numeric).
+	MM1SRPT = analytic.MM1SRPT
 )

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
-//	             table1|sjf-error|weights|adaptive|tradeoff|geo|scale-100k]
+//	             table1|sjf-error|weights|adaptive|tradeoff|geo|
+//	             price-of-obliviousness|scale-100k]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
 //	            [-scale-jobs N] [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
@@ -59,7 +60,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, scale-100k)")
+		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k)")
 		seed        = flag.Int64("seed", 1, "workload/trace synthesis seed")
 		repeats     = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
 		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
@@ -144,21 +145,23 @@ func run() error {
 	}
 
 	runners := map[string]func(experiments.Options) error{
-		"table1":     showTableI,
-		"fig1":       showFig1,
-		"fig3":       showFig3,
-		"fig5":       showCluster(80, experiments.Fig5),
-		"fig6":       showCluster(50, experiments.Fig6),
-		"fig7a":      showFig7a,
-		"fig7b":      showFig7b,
-		"fig8a":      showFig8a,
-		"fig8b":      showFig8b,
-		"sjf-error":  showSJFError,
-		"weights":    showWeights,
-		"adaptive":   showAdaptive,
-		"tradeoff":   showTradeoff,
-		"geo":        showGeo,
-		"scale-100k": showScale100k,
+		"table1":    showTableI,
+		"fig1":      showFig1,
+		"fig3":      showFig3,
+		"fig5":      showCluster(80, experiments.Fig5),
+		"fig6":      showCluster(50, experiments.Fig6),
+		"fig7a":     showFig7a,
+		"fig7b":     showFig7b,
+		"fig8a":     showFig8a,
+		"fig8b":     showFig8b,
+		"sjf-error": showSJFError,
+		"weights":   showWeights,
+		"adaptive":  showAdaptive,
+		"tradeoff":  showTradeoff,
+		"geo":       showGeo,
+
+		"price-of-obliviousness": showPrice,
+		"scale-100k":             showScale100k,
 	}
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
@@ -174,7 +177,7 @@ func run() error {
 	for _, name := range []string{
 		"table1", "fig1", "fig3", "fig5", "fig6",
 		"fig7a", "fig7b", "fig8a", "fig8b", "sjf-error", "weights",
-		"adaptive", "tradeoff", "geo",
+		"adaptive", "tradeoff", "geo", "price-of-obliviousness",
 	} {
 		if err := timed(name, func() error { return runners[name](opts) }); err != nil {
 			return err
@@ -364,6 +367,16 @@ func showTradeoff(opts experiments.Options) error {
 	fmt.Println("== Extension: fairness/response tradeoff (LAS_MQ <-> FAIR blend) ==")
 	fmt.Print(experiments.TradeoffTable(points))
 	return nil
+}
+
+func showPrice(opts experiments.Options) error {
+	res, err := experiments.PriceOfObliviousness(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Price of obliviousness: information hierarchy on the congested Table-I mix ==")
+	fmt.Print(res.Table())
+	return writeCSV("price-of-obliviousness", res.WriteCSV)
 }
 
 func showScale100k(opts experiments.Options) error {

@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"lasmq/internal/dist"
+)
+
+// relErr is the relative error |got-want|/|want|.
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// TestMG1MatchesMM1ClosedForms validates the numeric M/G/1 evaluator against
+// the exponential closed forms: FCFS, PS and LAS must all hit 1/(mu-lambda)
+// through three independent integration paths.
+func TestMG1MatchesMM1ClosedForms(t *testing.T) {
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		mu := 1.0
+		lambda := rho * mu
+		m, err := NewMG1(lambda, dist.ExpService{M: 1 / mu}, 0)
+		if err != nil {
+			t.Fatalf("rho=%v: %v", rho, err)
+		}
+		want := MM1FCFS(lambda, mu)
+		if got := m.FCFS(); relErr(got, want) > 1e-3 {
+			t.Errorf("rho=%v: FCFS = %v, closed form %v", rho, got, want)
+		}
+		if got := m.PS(); relErr(got, want) > 1e-3 {
+			t.Errorf("rho=%v: PS = %v, closed form %v", rho, got, want)
+		}
+		// Exponential service sits on the boundary of the decreasing-hazard
+		// class, where LAS is mean-equivalent to FCFS — a sharp test of the
+		// two-dimensional LAS integral.
+		if got := m.LAS(); relErr(got, want) > 5e-3 {
+			t.Errorf("rho=%v: LAS = %v, closed form %v", rho, got, want)
+		}
+		// SRPT strictly beats every non-anticipating policy, and by a bounded
+		// factor (mean response can never beat the no-queueing floor E[S]).
+		srpt := m.SRPT()
+		if srpt >= want || srpt < 1/mu {
+			t.Errorf("rho=%v: SRPT = %v, want within [%v, %v)", rho, srpt, 1/mu, want)
+		}
+	}
+}
+
+// TestMG1SecondMoment checks the numeric E[S^2] against closed forms.
+func TestMG1SecondMoment(t *testing.T) {
+	m, err := NewMG1(0.5, dist.ExpService{M: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SecondMoment(); relErr(got, 2) > 1e-3 {
+		t.Errorf("exp(1) E[S^2] = %v, want 2", got)
+	}
+	p := dist.ParetoService{Alpha: 3, Lo: 1, Hi: 100}
+	mp, err := NewMG1(0.1, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mp.SecondMoment(), p.RawMoment(2); relErr(got, want) > 1e-2 {
+		t.Errorf("pareto E[S^2] = %v, closed form %v", got, want)
+	}
+}
+
+// TestMG1PolicyOrdering asserts the theory ordering SRPT <= LAS <= PS <= FCFS
+// under a heavy-tailed (decreasing-hazard) service distribution, where LAS
+// is known to beat PS and FCFS is hurt most by size variance.
+func TestMG1PolicyOrdering(t *testing.T) {
+	s := dist.ParetoService{Alpha: 1.5, Lo: 1, Hi: 1000}
+	m, err := NewMG1(0.7/s.Mean(), s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srpt, las, ps, fcfs := m.SRPT(), m.LAS(), m.PS(), m.FCFS()
+	if !(srpt <= las && las <= ps && ps <= fcfs) {
+		t.Errorf("ordering violated: SRPT=%v LAS=%v PS=%v FCFS=%v", srpt, las, ps, fcfs)
+	}
+}
+
+// TestMG1Unstable checks the stability guard.
+func TestMG1Unstable(t *testing.T) {
+	if _, err := NewMG1(1.5, dist.ExpService{M: 1}, 0); err == nil {
+		t.Fatal("rho=1.5 accepted")
+	}
+	if _, err := NewMG1(-1, dist.ExpService{M: 1}, 0); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"lasmq/internal/dist"
+)
+
+// Regression suite for the Gittins index table builder: the closed-form
+// behaviours the scheduler's correctness leans on, plus a fuzz target pinning
+// the structural guarantee (finite-or-+Inf, never NaN) on arbitrary degenerate
+// distributions.
+
+// TestGittinsExponentialConstant: the exponential distribution is memoryless,
+// so its Gittins index is the constant hazard rate 1/mean — the policy
+// degrades to FIFO, which is optimal there. The discretized index must be flat
+// across the support (up to grid error) and equal to 1/mean.
+func TestGittinsExponentialConstant(t *testing.T) {
+	const mean = 4.0
+	tab := dist.NewGittinsTable(dist.ExpService{M: mean})
+	want := 1 / mean
+	// Probe inside the bulk of the support; far in the tail the sampled mass
+	// underflows and the index legitimately pins to +Inf.
+	for _, a := range []float64{0, 0.1, 1, 2, 5, 10, 20, 40} {
+		got := tab.Index(a)
+		if math.IsNaN(got) {
+			t.Fatalf("Index(%v) is NaN", a)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("Index(%v) = %v, want constant hazard %v (rel err %.3f)", a, got, want, rel)
+		}
+	}
+}
+
+// TestGittinsPointMassIncreasing: a deterministic size v has index
+// G(a) = 1/(v-a) — certain completion after exactly v-a more service — so the
+// index must increase with attained service and explode near v. This is the
+// property that makes Gittins serve near-deterministic clusters FIFO-style.
+func TestGittinsPointMassIncreasing(t *testing.T) {
+	const v = 100.0
+	tab := dist.NewGittinsTable(dist.PointMass{V: v})
+	// Away from the atom the grid is dense relative to v-a and the closed
+	// form holds tightly.
+	for _, a := range []float64{0, 10, 25, 50, 75} {
+		got := tab.Index(a)
+		if math.IsNaN(got) {
+			t.Fatalf("Index(%v) is NaN", a)
+		}
+		want := 1 / (v - a)
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Errorf("Index(%v) = %v, want ~1/(v-a) = %v (rel err %.3f)", a, got, want, rel)
+		}
+	}
+	// Near the atom the table reads the greatest grid level <= a, so the
+	// value lags the closed form — but monotone increase must survive.
+	prev := 0.0
+	for _, a := range []float64{0, 10, 25, 50, 75, 90, 99} {
+		got := tab.Index(a)
+		if got < prev {
+			t.Errorf("Index(%v) = %v decreased below %v: point-mass index must increase", a, got, prev)
+		}
+		prev = got
+	}
+	if got := tab.Index(2 * v); !math.IsInf(got, 1) {
+		t.Errorf("Index past the atom = %v, want +Inf", got)
+	}
+}
+
+// TestGittinsParetoDecreasing: a heavy-tailed (decreasing-hazard)
+// distribution's index decreases with attained service — the more a job has
+// run, the longer it is expected to keep running — which is what makes
+// least-attained-service scheduling optimal for such workloads.
+func TestGittinsParetoDecreasing(t *testing.T) {
+	tab := dist.NewGittinsTable(dist.ParetoService{Alpha: 1.5, Lo: 1, Hi: 1e6})
+	prev := math.Inf(1)
+	for _, a := range []float64{1, 2, 5, 20, 100, 1000, 1e4} {
+		got := tab.Index(a)
+		if math.IsNaN(got) {
+			t.Fatalf("Index(%v) is NaN", a)
+		}
+		if got > prev {
+			t.Errorf("Index(%v) = %v increased above %v: heavy-tail index must decrease", a, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestGittinsZeroMass: past a truncation point (or for an all-zero tail) the
+// index must pin to +Inf, never NaN — an essentially-finished job is driven
+// to completion rather than dropped to the bottom of the ranking.
+func TestGittinsZeroMass(t *testing.T) {
+	// Truncated distribution: tail hits zero at Hi.
+	tab := dist.NewGittinsTable(dist.ParetoService{Alpha: 2, Lo: 1, Hi: 100})
+	for _, a := range []float64{100, 150, 1e6} {
+		if got := tab.Index(a); !math.IsInf(got, 1) {
+			t.Errorf("Index(%v) past truncation = %v, want +Inf", a, got)
+		}
+	}
+	// Degenerate all-zero-mass service (the constructor rejects an empty
+	// sample set, so build the zero-mass case from a zero-size point mass).
+	tab = dist.NewGittinsTable(dist.PointMass{V: 0})
+	for _, a := range []float64{0, 1, 1e9} {
+		got := tab.Index(a)
+		if math.IsNaN(got) {
+			t.Fatalf("zero-mass Index(%v) is NaN", a)
+		}
+	}
+}
+
+// TestGittinsHeavyTailTruncationFinite: inside the support of a truncated
+// heavy tail the index stays finite — truncation must not leak +Inf into
+// levels that still carry mass.
+func TestGittinsHeavyTailTruncationFinite(t *testing.T) {
+	tab := dist.NewGittinsTable(dist.ParetoService{Alpha: 1.1, Lo: 1, Hi: 1e4})
+	for _, a := range []float64{1, 10, 100, 5000} {
+		got := tab.Index(a)
+		if math.IsInf(got, 1) || math.IsNaN(got) || got <= 0 {
+			t.Errorf("Index(%v) = %v, want finite positive inside the support", a, got)
+		}
+	}
+}
+
+// TestGittinsBoundaries pins NextBoundary's contract: strictly increasing
+// steps through the grid, +Inf at or past the last level.
+func TestGittinsBoundaries(t *testing.T) {
+	tab := dist.NewGittinsTable(dist.ExpService{M: 1})
+	a := 0.0
+	for i := 0; i < tab.Levels()+5; i++ {
+		next := tab.NextBoundary(a)
+		if math.IsNaN(next) {
+			t.Fatalf("NextBoundary(%v) is NaN", a)
+		}
+		if math.IsInf(next, 1) {
+			return // walked off the grid
+		}
+		if next <= a {
+			t.Fatalf("NextBoundary(%v) = %v, not strictly greater", a, next)
+		}
+		a = next
+	}
+	t.Fatalf("NextBoundary never reached +Inf after %d steps", tab.Levels()+5)
+}
+
+// FuzzGittinsTable feeds arbitrary (including degenerate) lognormal-flavoured
+// and empirical distributions through the builder and asserts the structural
+// guarantee: every queried index is finite or +Inf — never NaN, never
+// negative — and NextBoundary always advances.
+func FuzzGittinsTable(f *testing.F) {
+	f.Add(1.0, 0.5, 10.0, false)
+	f.Add(0.0, 0.0, 0.0, false)      // degenerate: zero mean
+	f.Add(-3.0, -1.0, -5.0, false)   // negative garbage
+	f.Add(1e300, 1e3, 1e308, false)  // overflow territory
+	f.Add(2.0, 0.0, 7.0, true)       // empirical point cloud
+	f.Add(1e-12, 1e-12, 1e-9, false) // denormal scale
+	// Regression: a large negative sigma once drove Upper subnormal, the log
+	// grid collapsed to duplicate levels, and NextBoundary(0) stopped
+	// advancing.
+	f.Add(33.755102040816325, -29.6, 1.0, false)
+	f.Fuzz(func(t *testing.T, mean, sigma, probe float64, empirical bool) {
+		var s dist.Service
+		if empirical {
+			// An empirical cloud seeded from the inputs, including repeats
+			// (atoms) and unsorted order; when every sample is rejected as
+			// degenerate, fall back to the lognormal path.
+			emp, err := dist.NewEmpirical([]float64{mean, sigma, mean, probe, sigma})
+			if err == nil {
+				s = emp
+			}
+		}
+		if s == nil {
+			s = dist.LognormalMeanService(mean, sigma)
+		}
+		tab := dist.NewGittinsTableN(s, 64)
+		for _, a := range []float64{0, probe, mean, math.Abs(probe), math.Inf(1), math.NaN()} {
+			got := tab.Index(a)
+			if math.IsNaN(got) {
+				t.Fatalf("Index(%v) is NaN (mean=%v sigma=%v empirical=%v)", a, mean, sigma, empirical)
+			}
+			if got < 0 {
+				t.Fatalf("Index(%v) = %v negative (mean=%v sigma=%v empirical=%v)", a, got, mean, sigma, empirical)
+			}
+			if !math.IsNaN(a) {
+				if nb := tab.NextBoundary(a); !(nb > a) && !math.IsInf(nb, 1) {
+					t.Fatalf("NextBoundary(%v) = %v did not advance", a, nb)
+				}
+			}
+		}
+	})
+}

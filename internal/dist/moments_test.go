@@ -1,0 +1,130 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lasmq/internal/dist"
+	"lasmq/internal/stats"
+)
+
+// The moment suite checks every generator in this package against its
+// analytic mean, variance and coefficient of variation. Each case draws a
+// large sample and asserts the empirical moments fall within three standard
+// errors of the closed form — a deterministic test (fixed seed) whose bound
+// still carries statistical meaning: were the seed random, a correct
+// generator would pass ~99.7% of the time per assertion.
+
+const momentDraws = 1_000_000
+
+// TestGeneratorMoments is the table: one row per generator, each with its
+// closed-form mean and variance.
+func TestGeneratorMoments(t *testing.T) {
+	// Bounded-Pareto closed forms come from the matching analytic service
+	// distribution — sampler and evaluator must describe the same law.
+	pareto := dist.ParetoService{Alpha: 1.5, Lo: 1, Hi: 1000}
+	pVar := pareto.RawMoment(2) - pareto.Mean()*pareto.Mean()
+
+	// Lognormal closed forms: E[X] = exp(mu + sigma^2/2),
+	// Var[X] = (exp(sigma^2) - 1) E[X]^2.
+	lnMu, lnSigma := 1.0, 0.5
+	lnMean := math.Exp(lnMu + lnSigma*lnSigma/2)
+	lnVar := (math.Exp(lnSigma*lnSigma) - 1) * lnMean * lnMean
+
+	// IntBetween on [lo, hi]: the discrete uniform over n = hi-lo+1 values
+	// has variance (n^2 - 1)/12.
+	ibLo, ibHi := 3, 17
+	ibN := float64(ibHi - ibLo + 1)
+
+	cases := []struct {
+		name           string
+		draw           func(r *rand.Rand) float64
+		mean, variance float64
+	}{
+		{
+			name: "Exponential",
+			draw: func(r *rand.Rand) float64 { return dist.Exponential(r, 7) },
+			mean: 7, variance: 49,
+		},
+		{
+			name: "Lognormal",
+			draw: func(r *rand.Rand) float64 { return dist.Lognormal(r, lnMu, lnSigma) },
+			mean: lnMean, variance: lnVar,
+		},
+		{
+			name: "LognormalMean",
+			draw: func(r *rand.Rand) float64 { return dist.LognormalMean(r, 250, 0.4) },
+			mean: 250, variance: (math.Exp(0.4*0.4) - 1) * 250 * 250,
+		},
+		{
+			name: "BoundedPareto",
+			draw: func(r *rand.Rand) float64 { return dist.BoundedPareto(r, pareto.Alpha, pareto.Lo, pareto.Hi) },
+			mean: pareto.Mean(), variance: pVar,
+		},
+		{
+			name: "IntBetween",
+			draw: func(r *rand.Rand) float64 { return float64(dist.IntBetween(r, ibLo, ibHi)) },
+			mean: float64(ibLo+ibHi) / 2, variance: (ibN*ibN - 1) / 12,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r := dist.New(11)
+			sample := make([]float64, momentDraws)
+			for i := range sample {
+				sample[i] = tc.draw(r)
+			}
+			assertMoments(t, sample, tc.mean, tc.variance)
+		})
+	}
+}
+
+// TestPoissonProcessIntervalMoments covers the remaining generator: the
+// process's inter-arrival times must be exponential in both their first and
+// second moments, not merely average out.
+func TestPoissonProcessIntervalMoments(t *testing.T) {
+	const mean = 13.0
+	p, err := dist.NewPoissonProcess(dist.New(11), mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := make([]float64, momentDraws)
+	prev := 0.0
+	for i := range sample {
+		next := p.Next()
+		sample[i] = next - prev
+		prev = next
+	}
+	assertMoments(t, sample, mean, mean*mean)
+}
+
+// assertMoments checks the sample's mean, variance and CV against the closed
+// forms within three standard errors. The standard errors themselves use the
+// empirical moments (SE(mean) = sqrt(m2/n), SE(var) ~ sqrt((m4-m2^2)/n), CV
+// by first-order propagation), which is the standard large-sample treatment.
+func assertMoments(t *testing.T, sample []float64, mean, variance float64) {
+	t.Helper()
+	m := stats.CentralMoments(sample)
+	n := float64(m.N)
+
+	seMean := math.Sqrt(m.Variance / n)
+	if diff := math.Abs(m.Mean - mean); diff > 3*seMean {
+		t.Errorf("mean = %v, want %v (|diff| %v > 3 SE %v)", m.Mean, mean, diff, 3*seMean)
+	}
+
+	seVar := math.Sqrt((m.M4 - m.Variance*m.Variance) / n)
+	if diff := math.Abs(m.Variance - variance); diff > 3*seVar {
+		t.Errorf("variance = %v, want %v (|diff| %v > 3 SE %v)", m.Variance, variance, diff, 3*seVar)
+	}
+
+	wantCV := math.Sqrt(variance) / mean
+	sd := math.Sqrt(m.Variance)
+	seSD := seVar / (2 * sd)
+	seCV := math.Sqrt(seSD*seSD/(m.Mean*m.Mean) + m.Variance*seMean*seMean/(m.Mean*m.Mean*m.Mean*m.Mean))
+	if diff := math.Abs(m.CV() - wantCV); diff > 3*seCV {
+		t.Errorf("CV = %v, want %v (|diff| %v > 3 SE %v)", m.CV(), wantCV, diff, 3*seCV)
+	}
+}

@@ -1,0 +1,380 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Service describes a job (or stage) service-time distribution through its
+// complementary CDF. The theory-grounded baselines build on it: the Gittins
+// index table (gittins.go) discretizes a Service, and internal/analytic's
+// M/G/1 evaluator integrates one numerically. Implementations must return a
+// Tail that is non-increasing in x with Tail(0) <= 1; callers defensively
+// clamp, but honest tails keep the numerics sharp.
+type Service interface {
+	// Tail returns P(S > x). Values outside [0,1] are clamped by consumers.
+	Tail(x float64) float64
+	// Mean returns E[S] (> 0 for any non-degenerate service distribution).
+	Mean() float64
+	// Upper returns a finite truncation point U with P(S > U) negligible;
+	// numeric consumers integrate over [0, U].
+	Upper() float64
+}
+
+// ExpService is the exponential distribution with the given mean — the
+// service law of the M/M/1 cross-check workloads.
+type ExpService struct{ M float64 }
+
+// Tail implements Service.
+func (e ExpService) Tail(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-x / e.M)
+}
+
+// Mean implements Service.
+func (e ExpService) Mean() float64 { return e.M }
+
+// Upper implements Service: 40 means leave tail mass ~4e-18.
+func (e ExpService) Upper() float64 { return 40 * e.M }
+
+// LognormalService is exp(N(Mu, Sigma^2)), matching dist.Lognormal draws.
+type LognormalService struct{ Mu, Sigma float64 }
+
+// Tail implements Service.
+func (l LognormalService) Tail(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if l.Sigma <= 0 {
+		if x < math.Exp(l.Mu) {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// Mean implements Service.
+func (l LognormalService) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Upper implements Service: 10 sigma above the log-mean.
+func (l LognormalService) Upper() float64 { return math.Exp(l.Mu + 10*l.Sigma) }
+
+// LognormalMeanService parameterizes the lognormal by its mean and shape,
+// matching dist.LognormalMean draws.
+func LognormalMeanService(mean, sigma float64) LognormalService {
+	return LognormalService{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// ParetoService is the bounded Pareto on [Lo, Hi] with shape Alpha, matching
+// dist.BoundedPareto draws.
+type ParetoService struct{ Alpha, Lo, Hi float64 }
+
+// Tail implements Service.
+func (p ParetoService) Tail(x float64) float64 {
+	if x <= p.Lo {
+		return 1
+	}
+	if x >= p.Hi {
+		return 0
+	}
+	la := math.Pow(p.Lo, p.Alpha)
+	// P(S > x) = (L^a x^-a - L^a H^-a) / (1 - L^a H^-a)
+	num := la*math.Pow(x, -p.Alpha) - la*math.Pow(p.Hi, -p.Alpha)
+	den := 1 - math.Pow(p.Lo/p.Hi, p.Alpha)
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RawMoment returns E[S^k] in closed form (k != Alpha).
+func (p ParetoService) RawMoment(k float64) float64 {
+	den := 1 - math.Pow(p.Lo/p.Hi, p.Alpha)
+	la := math.Pow(p.Lo, p.Alpha)
+	return p.Alpha * la / den * (math.Pow(p.Hi, k-p.Alpha) - math.Pow(p.Lo, k-p.Alpha)) / (k - p.Alpha)
+}
+
+// Mean implements Service.
+func (p ParetoService) Mean() float64 { return p.RawMoment(1) }
+
+// Upper implements Service.
+func (p ParetoService) Upper() float64 { return p.Hi }
+
+// PointMass is the deterministic service of size V.
+type PointMass struct{ V float64 }
+
+// Tail implements Service.
+func (p PointMass) Tail(x float64) float64 {
+	if x < p.V {
+		return 1
+	}
+	return 0
+}
+
+// Mean implements Service.
+func (p PointMass) Mean() float64 { return p.V }
+
+// Upper implements Service.
+func (p PointMass) Upper() float64 { return p.V }
+
+// NormalService is the normal distribution truncated to positive values —
+// the stage-total model: a stage of n i.i.d. task durations has an
+// approximately normal total by the CLT.
+type NormalService struct{ Mu, Sigma float64 }
+
+// phi is the standard normal density.
+func phi(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+// bigPhi is the standard normal CDF.
+func bigPhi(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// Tail implements Service: P(X > x | X > 0) for X ~ N(Mu, Sigma^2).
+func (n NormalService) Tail(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if n.Sigma <= 0 {
+		return PointMass{V: n.Mu}.Tail(x)
+	}
+	pos := bigPhi(n.Mu / n.Sigma) // P(X > 0)
+	if pos <= 0 {
+		return 0
+	}
+	return bigPhi((n.Mu-x)/n.Sigma) / pos
+}
+
+// Mean implements Service: the truncated-normal mean
+// Mu + Sigma*phi(Mu/Sigma)/Phi(Mu/Sigma).
+func (n NormalService) Mean() float64 {
+	if n.Sigma <= 0 {
+		return n.Mu
+	}
+	a := n.Mu / n.Sigma
+	pos := bigPhi(a)
+	if pos <= 0 {
+		return 0
+	}
+	return n.Mu + n.Sigma*phi(a)/pos
+}
+
+// Upper implements Service.
+func (n NormalService) Upper() float64 {
+	u := n.Mu + 10*n.Sigma
+	if u <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return u
+}
+
+// EmpiricalService is the empirical distribution of observed sizes — the
+// oracle a Gittins scheduler would fit from a measured workload.
+type EmpiricalService struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewEmpirical builds the empirical distribution of the samples. It returns
+// an error when no positive samples exist.
+func NewEmpirical(samples []float64) (*EmpiricalService, error) {
+	s := make([]float64, 0, len(samples))
+	var sum float64
+	for _, v := range samples {
+		if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			s = append(s, v)
+			sum += v
+		}
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one positive sample")
+	}
+	sort.Float64s(s)
+	return &EmpiricalService{sorted: s, mean: sum / float64(len(s))}, nil
+}
+
+// Tail implements Service: the fraction of samples strictly above x.
+func (e *EmpiricalService) Tail(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(len(e.sorted)-i) / float64(len(e.sorted))
+}
+
+// Mean implements Service.
+func (e *EmpiricalService) Mean() float64 { return e.mean }
+
+// Upper implements Service.
+func (e *EmpiricalService) Upper() float64 { return e.sorted[len(e.sorted)-1] }
+
+// MixtureService is a finite mixture of component services — the Table-I
+// workload seen as a distribution: each job type is one component weighted by
+// its share of the mix.
+type MixtureService struct {
+	weights []float64 // normalized
+	parts   []Service
+}
+
+// NewMixture builds a mixture from components and non-negative weights
+// (normalized internally). Zero-weight components are dropped.
+func NewMixture(parts []Service, weights []float64) (*MixtureService, error) {
+	if len(parts) != len(weights) {
+		return nil, fmt.Errorf("dist: mixture has %d parts but %d weights", len(parts), len(weights))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: mixture weight %v out of range", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to %v", total)
+	}
+	m := &MixtureService{}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		m.weights = append(m.weights, w/total)
+		m.parts = append(m.parts, parts[i])
+	}
+	return m, nil
+}
+
+// Tail implements Service.
+func (m *MixtureService) Tail(x float64) float64 {
+	var t float64
+	for i, p := range m.parts {
+		t += m.weights[i] * p.Tail(x)
+	}
+	return t
+}
+
+// Mean implements Service.
+func (m *MixtureService) Mean() float64 {
+	var mean float64
+	for i, p := range m.parts {
+		mean += m.weights[i] * p.Mean()
+	}
+	return mean
+}
+
+// Upper implements Service.
+func (m *MixtureService) Upper() float64 {
+	var u float64
+	for _, p := range m.parts {
+		u = math.Max(u, p.Upper())
+	}
+	return u
+}
+
+// GridService holds a tail precomputed on an ascending grid, with linear
+// interpolation in between. Convolve returns one; it is also a convenient
+// cache for expensive tails.
+type GridService struct {
+	xs    []float64
+	tails []float64
+	mean  float64
+}
+
+// Tail implements Service.
+func (g *GridService) Tail(x float64) float64 {
+	if x <= g.xs[0] {
+		return g.tails[0]
+	}
+	last := len(g.xs) - 1
+	if x >= g.xs[last] {
+		return g.tails[last]
+	}
+	i := sort.SearchFloat64s(g.xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := g.xs[i-1], g.xs[i]
+	t0, t1 := g.tails[i-1], g.tails[i]
+	if x1 == x0 {
+		return t1
+	}
+	return t0 + (t1-t0)*(x-x0)/(x1-x0)
+}
+
+// Mean implements Service.
+func (g *GridService) Mean() float64 { return g.mean }
+
+// Upper implements Service.
+func (g *GridService) Upper() float64 { return g.xs[len(g.xs)-1] }
+
+// Atoms discretizes s into point masses at grid points: weights[i] is the
+// probability mass landing in (xs[i-1], xs[i]] (the head cell starts at 0).
+// Tails are clamped to [0,1] and forced non-increasing so a sloppy Service
+// cannot produce negative masses.
+func Atoms(s Service, points int) (xs, weights []float64) {
+	xs = grid(s.Upper(), points)
+	prev := math.Min(1, math.Max(0, s.Tail(0)))
+	weights = make([]float64, len(xs))
+	for i, x := range xs {
+		t := math.Min(prev, math.Max(0, s.Tail(x)))
+		weights[i] = prev - t
+		prev = t
+	}
+	// Any tail mass beyond Upper is assigned to the last atom so the atoms
+	// always sum to Tail(0).
+	weights[len(weights)-1] += prev
+	return xs, weights
+}
+
+// grid returns an ascending integration grid over (0, upper]: log-spaced so
+// heavy-tailed distributions resolve both the body and the tail, with the
+// first point pinned near zero.
+func grid(upper float64, points int) []float64 {
+	if points < 2 {
+		points = 2
+	}
+	// The 1e-290 floor keeps lo = upper*1e-9 out of the subnormal range,
+	// where it would underflow to 0 and collapse the log ladder into
+	// duplicate levels.
+	if upper < 1e-290 || math.IsInf(upper, 0) || math.IsNaN(upper) {
+		upper = 1
+	}
+	lo := upper * 1e-9
+	ratio := math.Pow(upper/lo, 1/float64(points-1))
+	xs := make([]float64, points)
+	x := lo
+	for i := range xs {
+		xs[i] = x
+		x *= ratio
+	}
+	xs[points-1] = upper
+	return xs
+}
+
+// Convolve numerically builds the distribution of A + B — the total service
+// of a two-stage job from its per-stage service distributions. A is
+// discretized into point masses; the sum's tail is the mass-weighted shift of
+// B's tail.
+func Convolve(a, b Service, points int) *GridService {
+	axs, aw := Atoms(a, points)
+	upper := a.Upper() + b.Upper()
+	xs := grid(upper, points)
+	tails := make([]float64, len(xs))
+	for i, x := range xs {
+		var t float64
+		for k, av := range axs {
+			if aw[k] == 0 {
+				continue
+			}
+			if x <= av {
+				t += aw[k]
+				continue
+			}
+			t += aw[k] * math.Min(1, math.Max(0, b.Tail(x-av)))
+		}
+		tails[i] = math.Min(1, t)
+	}
+	// Force monotone non-increasing (guards numeric wiggle).
+	for i := 1; i < len(tails); i++ {
+		if tails[i] > tails[i-1] {
+			tails[i] = tails[i-1]
+		}
+	}
+	return &GridService{xs: xs, tails: tails, mean: a.Mean() + b.Mean()}
+}

@@ -1,0 +1,155 @@
+package engine_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"lasmq/internal/engine"
+	"lasmq/internal/fluid"
+	"lasmq/internal/job"
+	"lasmq/internal/sched"
+)
+
+// The differential suite runs the same staggered Table-I-style mix through
+// both substrates — the task-level engine and the fluid simulator — under the
+// theory baselines PS and exact SRPT, and asserts the substrates agree on the
+// order jobs complete in. Absolute times differ (the engine quantizes shares
+// to whole containers and work-conserves the remainder; the fluid model
+// serves continuous rates), but with unit tasks the engine reschedules at
+// every task boundary, so both models realize the same preemptive discipline
+// and must rank the jobs identically.
+
+// diffJob is one job of the differential mix.
+type diffJob struct {
+	id      int
+	arrival float64
+	tasks   int
+}
+
+// diffMix builds the staggered mix: four size classes with the paper's
+// Table-I bin ratios (TeraGen : Classification : SequenceCount : WordCount
+// total service is about 1 : 2.4 : 9.5 : 93), three jobs each, every size
+// perturbed by its index so no two jobs tie, arrivals spread so the backlog
+// builds while small jobs keep arriving. The wide inter-class gaps matter:
+// the engine's largest-remainder quantizer breaks ties toward earlier jobs,
+// a within-rounding bias that reinforces arrival order inside a class but
+// would let two near-simultaneous finishers of different classes swap if the
+// classes were close in size.
+func diffMix() []diffJob {
+	classes := []int{15, 36, 143, 1401}
+	var jobs []diffJob
+	id := 0
+	for rep := 0; rep < 3; rep++ {
+		for _, base := range classes {
+			id++
+			jobs = append(jobs, diffJob{
+				id:      id,
+				arrival: 3*float64(id-1) + 0.1*float64(id),
+				tasks:   base + id,
+			})
+		}
+	}
+	return jobs
+}
+
+// engineSpecs converts the mix to task-level jobs: one stage of unit tasks,
+// one container each, so the engine can reassign capacity at task granularity.
+func engineSpecs(jobs []diffJob) []job.Spec {
+	specs := make([]job.Spec, len(jobs))
+	for i, dj := range jobs {
+		tasks := make([]job.TaskSpec, dj.tasks)
+		for t := range tasks {
+			tasks[t] = job.TaskSpec{Duration: 1, Containers: 1}
+		}
+		specs[i] = job.Spec{
+			ID:       dj.id,
+			Name:     fmt.Sprintf("diff-%d", dj.tasks),
+			Priority: 1,
+			Arrival:  dj.arrival,
+			Stages:   []job.StageSpec{{Name: "work", Tasks: tasks}},
+		}
+	}
+	return specs
+}
+
+// fluidSpecs converts the mix to fluid jobs with matching width semantics:
+// size = task count (unit durations), width = task count (all parallel).
+func fluidSpecs(jobs []diffJob) []fluid.JobSpec {
+	specs := make([]fluid.JobSpec, len(jobs))
+	for i, dj := range jobs {
+		specs[i] = fluid.JobSpec{
+			ID:       dj.id,
+			Arrival:  dj.arrival,
+			Size:     float64(dj.tasks),
+			Width:    float64(dj.tasks),
+			Priority: 1,
+		}
+	}
+	return specs
+}
+
+func TestFluidEngineCompletionOrder(t *testing.T) {
+	mix := diffMix()
+	const capacity = 6
+	for _, tc := range []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"PS", func() sched.Scheduler { return sched.NewPS() }},
+		{"SRPT", func() sched.Scheduler { return sched.NewSRPT() }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eres, err := engine.Run(engineSpecs(mix), tc.mk(), engine.Config{
+				Containers:      capacity,
+				StragglerFactor: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := fluid.Run(fluidSpecs(mix), tc.mk(), fluid.Config{
+				Capacity:     capacity,
+				TaskDuration: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ecomp := make(map[int]float64, len(eres.Jobs))
+			for _, j := range eres.Jobs {
+				ecomp[j.ID] = j.Completed
+			}
+			fcomp := make(map[int]float64, len(fres.Jobs))
+			for _, j := range fres.Jobs {
+				fcomp[j.ID] = j.Completed
+			}
+			if len(ecomp) != len(mix) || len(fcomp) != len(mix) {
+				t.Fatalf("completed %d engine / %d fluid jobs, want %d", len(ecomp), len(fcomp), len(mix))
+			}
+
+			ids := make([]int, 0, len(mix))
+			for _, dj := range mix {
+				ids = append(ids, dj.id)
+			}
+			eorder := sortByCompletion(ids, ecomp)
+			forder := sortByCompletion(ids, fcomp)
+			for i := range eorder {
+				if eorder[i] != forder[i] {
+					t.Fatalf("completion order diverges at rank %d:\nengine %v\nfluid  %v\nengine times %v\nfluid times %v",
+						i, eorder, forder, ecomp, fcomp)
+				}
+			}
+		})
+	}
+}
+
+// sortByCompletion returns ids ordered by their completion times.
+func sortByCompletion(ids []int, completed map[int]float64) []int {
+	order := make([]int, len(ids))
+	copy(order, ids)
+	sort.SliceStable(order, func(a, b int) bool {
+		return completed[order[a]] < completed[order[b]]
+	})
+	return order
+}

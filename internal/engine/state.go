@@ -231,7 +231,10 @@ type jobView struct {
 	now float64
 }
 
-var _ sched.JobView = (*jobView)(nil)
+var (
+	_ sched.JobView    = (*jobView)(nil)
+	_ sched.ExactSizer = (*jobView)(nil)
+)
 
 func (v *jobView) ID() int            { return v.js.spec.ID }
 func (v *jobView) Seq() int           { return v.js.seq }
@@ -247,6 +250,16 @@ func (v *jobView) RemainingDemand() float64 {
 func (v *jobView) SizeHint() float64 { return v.js.spec.EffectiveSizeHint() }
 func (v *jobView) RemainingSizeHint() float64 {
 	rem := v.js.spec.EffectiveSizeHint() - v.js.attained(v.now)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// ExactRemaining implements sched.ExactSizer: the true remaining service
+// (total minus attained), independent of SizeHint perturbation.
+func (v *jobView) ExactRemaining() float64 {
+	rem := v.js.spec.TotalService() - v.js.attained(v.now)
 	if rem < 0 {
 		return 0
 	}

@@ -1,0 +1,68 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"lasmq/internal/experiments"
+)
+
+// TestPriceOfObliviousnessRanking is the experiment's acceptance gate: on the
+// congested Table-I transient the mean response times must rank by how much
+// prior information each policy holds,
+//
+//	SRPT <= GITTINS <= LAS_MQ <= LAS <= PS <= FIFO.
+//
+// The ranking is a property of the regime, not of one lucky draw — it holds
+// seed-by-seed, so the test asserts it on independent seeds.
+func TestPriceOfObliviousnessRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("congested transient sweep is slow")
+	}
+	for _, seed := range []int64{1, 2} {
+		res, err := experiments.PriceOfObliviousness(experiments.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		order := experiments.PricePolicyOrder
+		for i := 1; i < len(order); i++ {
+			lo, hi := order[i-1], order[i]
+			if res.Mean[lo] > res.Mean[hi] {
+				t.Errorf("seed %d: %s mean %.1f > %s mean %.1f — information ranking violated",
+					seed, lo, res.Mean[lo], hi, res.Mean[hi])
+			}
+		}
+		if got := res.Normalized[experiments.PolicyPS]; got != 1 {
+			t.Errorf("seed %d: PS normalized to itself = %v, want 1", seed, got)
+		}
+	}
+}
+
+// TestPriceResultCSV checks the export shape: a header plus one row per
+// policy, in rank order.
+func TestPriceResultCSV(t *testing.T) {
+	res := &experiments.PriceResult{
+		Mean:       map[string]float64{},
+		Normalized: map[string]float64{},
+	}
+	for i, name := range experiments.PricePolicyOrder {
+		res.Mean[name] = float64(i + 1)
+		res.Normalized[name] = float64(i+1) / 5
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if want := len(experiments.PricePolicyOrder) + 1; len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), want, b.String())
+	}
+	if lines[0] != "policy,mean_response,normalized_vs_ps" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for i, name := range experiments.PricePolicyOrder {
+		if !strings.HasPrefix(lines[i+1], name+",") {
+			t.Errorf("CSV row %d = %q, want policy %s", i+1, lines[i+1], name)
+		}
+	}
+}

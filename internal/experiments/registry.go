@@ -192,6 +192,19 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			return cells, nil
 		}),
+		exp("price-of-obliviousness", func(seed int64) ([]runner.Cell, error) {
+			res, err := PriceOfObliviousness(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			var cells []runner.Cell
+			for _, name := range PricePolicyOrder {
+				cells = append(cells,
+					runner.Cell{Group: name, Key: "mean", Value: res.Mean[name]},
+					runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]})
+			}
+			return cells, nil
+		}),
 		exp("scale-100k", func(seed int64) ([]runner.Cell, error) {
 			res, err := Scale100k(perSeed(seed))
 			if err != nil {
@@ -239,7 +252,8 @@ func traceCells(res *TraceResult) []runner.Cell {
 func RegistryNames() []string {
 	return []string{
 		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
-		"sjf-error", "weights", "adaptive", "tradeoff", "geo", "scale-100k",
+		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
+		"price-of-obliviousness", "scale-100k",
 	}
 }
 

@@ -127,7 +127,10 @@ type jobView struct {
 	taskDuration float64
 }
 
-var _ sched.JobView = (*jobView)(nil)
+var (
+	_ sched.JobView    = (*jobView)(nil)
+	_ sched.ExactSizer = (*jobView)(nil)
+)
 
 func (v *jobView) ID() int           { return v.j.spec.ID }
 func (v *jobView) Seq() int          { return v.j.seq }
@@ -161,6 +164,17 @@ func (v *jobView) SizeHint() float64 {
 
 func (v *jobView) RemainingSizeHint() float64 {
 	rem := v.SizeHint() - v.j.attained
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// ExactRemaining implements sched.ExactSizer: the true remaining service,
+// independent of any SizeHint perturbation — the clairvoyant input SRPT
+// needs.
+func (v *jobView) ExactRemaining() float64 {
+	rem := v.j.remaining()
 	if rem < 0 {
 		return 0
 	}

@@ -65,6 +65,49 @@ func Mean(values []float64) float64 {
 	return sum / float64(len(values))
 }
 
+// Moments holds empirical central moments of one sample, the inputs to
+// standard-error formulas for moment-matching tests: the standard error of
+// the sample mean is sqrt(Variance/N) and of the sample variance
+// approximately sqrt((M4-Variance^2)/N).
+type Moments struct {
+	// N is the sample size.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// Variance is the population-style second central moment (1/N).
+	Variance float64
+	// M4 is the fourth central moment (1/N).
+	M4 float64
+}
+
+// CV returns the coefficient of variation StdDev/Mean, or 0 for Mean == 0.
+func (m Moments) CV() float64 {
+	if m.Mean == 0 {
+		return 0
+	}
+	return math.Sqrt(m.Variance) / m.Mean
+}
+
+// CentralMoments computes sample central moments in two passes (the second
+// pass over explicit deviations keeps the higher moments numerically stable
+// for means far from zero). It returns a zero Moments for an empty input.
+func CentralMoments(values []float64) Moments {
+	if len(values) == 0 {
+		return Moments{}
+	}
+	m := Moments{N: len(values), Mean: Mean(values)}
+	n := float64(len(values))
+	for _, v := range values {
+		d := v - m.Mean
+		d2 := d * d
+		m.Variance += d2
+		m.M4 += d2 * d2
+	}
+	m.Variance /= n
+	m.M4 /= n
+	return m
+}
+
 // Percentile returns the q-quantile (q in [0,1]) using linear interpolation
 // between closest ranks. It returns 0 for an empty input.
 func Percentile(values []float64, q float64) float64 {

@@ -298,3 +298,30 @@ func TestTCritical95(t *testing.T) {
 		prev = cur
 	}
 }
+
+// TestCentralMoments checks the helper on a hand-computed sample.
+func TestCentralMoments(t *testing.T) {
+	m := CentralMoments([]float64{1, 2, 3, 4})
+	if m.N != 4 {
+		t.Errorf("N = %d, want 4", m.N)
+	}
+	if m.Mean != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", m.Mean)
+	}
+	if m.Variance != 1.25 {
+		t.Errorf("Variance = %v, want 1.25", m.Variance)
+	}
+	if m.M4 != 2.5625 {
+		t.Errorf("M4 = %v, want 2.5625", m.M4)
+	}
+	if want := math.Sqrt(1.25) / 2.5; math.Abs(m.CV()-want) > 1e-15 {
+		t.Errorf("CV = %v, want %v", m.CV(), want)
+	}
+	zero := CentralMoments(nil)
+	if zero != (Moments{}) {
+		t.Errorf("empty sample = %+v, want zero Moments", zero)
+	}
+	if got := zero.CV(); got != 0 {
+		t.Errorf("zero-mean CV = %v, want 0", got)
+	}
+}

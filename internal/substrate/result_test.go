@@ -1,0 +1,189 @@
+package substrate_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lasmq/internal/dist"
+	"lasmq/internal/fluid"
+	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
+)
+
+// The Result property suite: every derived statistic the accumulator reports
+// must equal a brute-force recomputation from the raw recorded events. The
+// accumulator sums in recording order and so does the reference, so the
+// comparisons are exact (==), not approximate — any drift is a real
+// bookkeeping bug, not float noise.
+
+// recomputed is the brute-force reference built directly from the events.
+type recomputed struct {
+	count     int
+	mean      float64
+	responses []float64
+	slowdowns []float64
+	binMeans  map[int]float64
+}
+
+// recompute folds the raw (bin, response) and slowdown streams the way the
+// accumulator documents: sums in recording order.
+func recompute(bins []int, responses, slowdowns []float64) recomputed {
+	ref := recomputed{
+		count:     len(responses),
+		responses: responses,
+		slowdowns: slowdowns,
+		binMeans:  make(map[int]float64),
+	}
+	if len(responses) > 0 {
+		var sum float64
+		for _, x := range responses {
+			sum += x
+		}
+		ref.mean = sum / float64(len(responses))
+	}
+	binSums := make(map[int]float64)
+	binCounts := make(map[int]int)
+	for i, bin := range bins {
+		binSums[bin] += responses[i]
+		binCounts[bin]++
+	}
+	for bin, n := range binCounts { // range-ok: per-key division, no cross-key accumulation
+		ref.binMeans[bin] = binSums[bin] / float64(n)
+	}
+	return ref
+}
+
+// assertMatches compares the accumulator against the reference exactly.
+func assertMatches(t *testing.T, res *substrate.Result, ref recomputed) bool {
+	t.Helper()
+	ok := true
+	if got := res.Count(); got != ref.count {
+		t.Errorf("Count = %d, want %d", got, ref.count)
+		ok = false
+	}
+	if got := res.MeanResponseTime(); got != ref.mean {
+		t.Errorf("MeanResponseTime = %v, brute force %v", got, ref.mean)
+		ok = false
+	}
+	got := res.ResponseTimes()
+	for i := range ref.responses {
+		if got[i] != ref.responses[i] {
+			t.Errorf("ResponseTimes[%d] = %v, want %v", i, got[i], ref.responses[i])
+			ok = false
+		}
+	}
+	gotS := res.Slowdowns()
+	if len(gotS) != len(ref.slowdowns) {
+		t.Errorf("Slowdowns len = %d, want %d", len(gotS), len(ref.slowdowns))
+		ok = false
+	} else {
+		for i := range ref.slowdowns {
+			if gotS[i] != ref.slowdowns[i] {
+				t.Errorf("Slowdowns[%d] = %v, want %v", i, gotS[i], ref.slowdowns[i])
+				ok = false
+			}
+		}
+	}
+	gotB := res.BinMeans()
+	if len(gotB) != len(ref.binMeans) {
+		t.Errorf("BinMeans has %d bins, want %d", len(gotB), len(ref.binMeans))
+		ok = false
+	}
+	for bin, want := range ref.binMeans { // range-ok: independent per-bin equality checks
+		if gotB[bin] != want {
+			t.Errorf("BinMeans[%d] = %v, brute force %v", bin, gotB[bin], want)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// TestResultMatchesBruteForce drives the accumulator with randomized event
+// streams — varied lengths, bins and magnitudes — and checks every statistic
+// against the reference.
+func TestResultMatchesBruteForce(t *testing.T) {
+	property := func(seed int64, n uint8) bool {
+		r := dist.New(seed)
+		jobs := int(n % 64)
+		bins := make([]int, jobs)
+		responses := make([]float64, jobs)
+		slowdowns := make([]float64, jobs)
+		var res substrate.Result
+		for i := 0; i < jobs; i++ {
+			bins[i] = dist.IntBetween(r, 0, 4)
+			// Heavy-tailed magnitudes exercise non-associative float sums.
+			responses[i] = dist.BoundedPareto(r, 1.1, 1e-3, 1e9)
+			slowdowns[i] = 1 + dist.Exponential(r, 10)
+			res.Record(bins[i], responses[i])
+			res.RecordSlowdown(slowdowns[i])
+		}
+		return assertMatches(t, &res, recompute(bins, responses, slowdowns))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultMatchesFluidRawEvents closes the loop on a real substrate: run
+// randomized traces through the fluid simulator and recompute the statistics
+// from the raw per-job completion records (Result.Jobs). The accumulator and
+// the recomputation must agree exactly, event for event.
+func TestResultMatchesFluidRawEvents(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := dist.New(seed)
+		jobs := dist.IntBetween(r, 1, 60)
+		arrivals, err := dist.NewPoissonProcess(r, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := make([]fluid.JobSpec, jobs)
+		for i := range specs {
+			specs[i] = fluid.JobSpec{
+				ID:       i + 1,
+				Arrival:  arrivals.Next(),
+				Size:     dist.BoundedPareto(r, 1.3, 1, 1e4),
+				Width:    float64(dist.IntBetween(r, 1, 8)),
+				Priority: 1,
+			}
+		}
+		res, err := fluid.Run(specs, sched.NewLAS(), fluid.Config{Capacity: 4, TaskDuration: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Jobs) != jobs {
+			t.Fatalf("seed %d: %d job records, want %d", seed, len(res.Jobs), jobs)
+		}
+		bins := make([]int, len(res.Jobs))
+		responses := make([]float64, len(res.Jobs))
+		slowdowns := make([]float64, len(res.Jobs))
+		for i, j := range res.Jobs {
+			// The fluid substrate records bin 0 and response = completion
+			// minus arrival for every job, in trace order.
+			responses[i] = j.Completed - j.Arrival
+			slowdowns[i] = j.Slowdown
+			if j.ResponseTime != responses[i] {
+				t.Errorf("seed %d: job %d ResponseTime %v != Completed-Arrival %v",
+					seed, j.ID, j.ResponseTime, responses[i])
+			}
+		}
+		if !assertMatches(t, &res.Result, recompute(bins, responses, slowdowns)) {
+			t.Fatalf("seed %d: accumulator diverged from raw completion events", seed)
+		}
+	}
+}
+
+// TestResultEmpty pins the zero-event conventions the brute-force reference
+// can't distinguish (0/0 would be NaN; the accumulator promises 0).
+func TestResultEmpty(t *testing.T) {
+	var res substrate.Result
+	if got := res.MeanResponseTime(); got != 0 || math.IsNaN(got) {
+		t.Errorf("empty MeanResponseTime = %v, want 0", got)
+	}
+	if got := res.Count(); got != 0 {
+		t.Errorf("empty Count = %d, want 0", got)
+	}
+	if got := res.BinMeans(); len(got) != 0 {
+		t.Errorf("empty BinMeans = %v, want empty", got)
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"lasmq/internal/dist"
+	"lasmq/internal/fluid"
+	"lasmq/internal/job"
+)
+
+// MM1Config parameterizes the analytic cross-check workload: an M/M/1 queue
+// — Poisson arrivals, exponential sizes, a unit-capacity cluster, width-1
+// jobs — the one setting where FIFO/PS/SRPT/LAS mean response times have
+// known closed forms (internal/analytic). Both substrates can run it:
+// MM1Trace emits fluid specs and MM1Cluster converts them into single-task
+// engine jobs, so the same draws drive both simulators.
+type MM1Config struct {
+	// Jobs is the number of arrivals to simulate.
+	Jobs int
+	// Rho is the offered load lambda*E[S] in (0,1).
+	Rho float64
+	// MeanSize is the exponential service mean E[S] = 1/mu.
+	MeanSize float64
+	// Seed drives arrivals and sizes.
+	Seed int64
+}
+
+func (c *MM1Config) validate() error {
+	if c.Jobs <= 0 {
+		return fmt.Errorf("workload: mm1 jobs must be positive, got %d", c.Jobs)
+	}
+	if c.Rho <= 0 || c.Rho >= 1 {
+		return fmt.Errorf("workload: mm1 rho must be in (0,1), got %v", c.Rho)
+	}
+	if c.MeanSize <= 0 {
+		return fmt.Errorf("workload: mm1 mean size must be positive, got %v", c.MeanSize)
+	}
+	return nil
+}
+
+// MM1Trace generates the M/M/1 workload as fluid job specs: width-1 jobs for
+// a capacity-1 cluster, so the fluid simulator realizes the single-server
+// queue exactly (a width-1 job can never use more than the whole server).
+func MM1Trace(cfg MM1Config) ([]fluid.JobSpec, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := dist.New(cfg.Seed)
+	// Mean inter-arrival for load rho on a unit-capacity server: E[S]/rho.
+	arrivals, err := dist.NewPoissonProcess(r, cfg.MeanSize/cfg.Rho)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]fluid.JobSpec, cfg.Jobs)
+	for i := range specs {
+		specs[i] = fluid.JobSpec{
+			ID:       i + 1,
+			Arrival:  arrivals.Next(),
+			Size:     dist.Exponential(r, cfg.MeanSize),
+			Width:    1,
+			Priority: 1,
+		}
+	}
+	return specs, nil
+}
+
+// MM1Cluster converts an M/M/1 fluid trace into task-level engine jobs: one
+// stage with one task whose duration is the job size, occupying one
+// container — run it on a one-container engine for the same queue. Only the
+// non-preemptive policies (FIFO) match their closed form there: the engine
+// never revokes a launched task, so preemptive disciplines degrade to FCFS
+// at the single-server scale.
+func MM1Cluster(specs []fluid.JobSpec) []job.Spec {
+	out := make([]job.Spec, len(specs))
+	for i := range specs {
+		s := &specs[i]
+		out[i] = job.Spec{
+			ID:       s.ID,
+			Name:     "mm1",
+			Priority: s.Priority,
+			Arrival:  s.Arrival,
+			Stages: []job.StageSpec{{
+				Name:  "service",
+				Tasks: []job.TaskSpec{{Duration: s.Size, Containers: 1}},
+			}},
+		}
+	}
+	return out
+}
