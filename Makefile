@@ -71,14 +71,18 @@ bench_engine.out:
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=300x . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRound$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale100k$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
+	$(GO) test -run '^$$' -bench '^BenchmarkScale1M$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
 
 # One race-enabled iteration of every benchmark in the repo, with the scale
-# tier shrunk via LASMQ_SCALE_JOBS so the race detector's ~10x slowdown stays
-# tolerable. Part of `make check`: it smoke-tests the benchmark code paths
-# themselves (including Scale100k's concurrent heap sampler) so they can't
-# silently rot between baseline refreshes.
+# tiers shrunk via LASMQ_SCALE_JOBS / LASMQ_SCALE1M_JOBS so the race
+# detector's ~10x slowdown stays tolerable. Part of `make check`: it
+# smoke-tests the benchmark code paths themselves (including Scale100k's
+# concurrent heap sampler and Scale1M's K=4 sharded worker pool, whose
+# cross-shard fan-out this is the race gate for) so they can't silently rot
+# between baseline refreshes.
 bench-smoke:
-	LASMQ_SCALE_JOBS=2000 $(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
+	LASMQ_SCALE_JOBS=2000 LASMQ_SCALE1M_JOBS=8000 LASMQ_SCALE1M_SHARDS=4 \
+		$(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
 
 # Telemetry must be free when off: a scheduling round with a nil probe may
 # not allocate (testing.AllocsPerRun == 0). Run -count=1 so a cached pass

@@ -173,6 +173,68 @@ func BenchmarkScale100k(b *testing.B) {
 	}
 }
 
+// BenchmarkScale1M runs the millions-of-jobs tier: the heavy-tailed trace
+// streamed at 1,000,000 jobs over 8 independent 20-container shards (load
+// 0.9 each) under all four policies. The trace is never materialized and
+// completed job records are recycled through a free list, so peak-heap-bytes
+// tracks live jobs, not trace length. LASMQ_SCALE1M_JOBS and
+// LASMQ_SCALE1M_SHARDS override the scale (the race-enabled
+// `make bench-smoke` runs a small K=4 configuration).
+func BenchmarkScale1M(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	if env := os.Getenv("LASMQ_SCALE1M_JOBS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad LASMQ_SCALE1M_JOBS %q", env)
+		}
+		opts.Scale1MJobs = n
+	}
+	if env := os.Getenv("LASMQ_SCALE1M_SHARDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad LASMQ_SCALE1M_SHARDS %q", env)
+		}
+		opts.Shards = n
+	}
+	var peak uint64
+	var last *experiments.TraceResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		sampled := make(chan uint64, 1)
+		go func() {
+			var high uint64
+			var ms runtime.MemStats
+			for {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > high {
+					high = ms.HeapAlloc
+				}
+				select {
+				case <-stop:
+					sampled <- high
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}()
+		res, err := experiments.Scale1M(opts)
+		close(stop)
+		if high := <-sampled; high > peak {
+			peak = high
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(peak), "peak-heap-bytes")
+	for _, name := range experiments.PolicyOrder {
+		b.ReportMetric(last.Normalized[name], "norm"+name)
+	}
+}
+
 // BenchmarkFig8Queues regenerates Fig. 8a: the number-of-queues sweep
 // (paper: beats Fair from k = 5 on).
 func BenchmarkFig8Queues(b *testing.B) {

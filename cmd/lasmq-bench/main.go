@@ -7,16 +7,19 @@
 //
 //	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
 //	             table1|sjf-error|weights|adaptive|tradeoff|geo|
-//	             price-of-obliviousness|scale-100k]
+//	             price-of-obliviousness|scale-100k|scale-1m]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
-//	            [-scale-jobs N] [-csv-dir DIR]
+//	            [-scale-jobs N] [-scale1m-jobs N] [-shards K] [-shard-workers M]
+//	            [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-trace-out FILE] [-trace-format jsonl|chrome]
 //
-// scale-100k is the 100,000-job stress tier, not a paper figure; "all" skips
-// it in direct mode so reproduce-scale runs stay figure-shaped (select it
-// explicitly, or run replicated mode, where the registry includes it).
+// scale-100k (100,000 jobs, materialized) and scale-1m (1,000,000 jobs,
+// streamed over -shards independent sub-clusters) are stress tiers, not paper
+// figures; "all" skips them in direct mode so reproduce-scale runs stay
+// figure-shaped (select them explicitly, or run replicated mode, where the
+// registry includes them).
 //
 // -cpuprofile and -memprofile capture pprof profiles of the selected
 // experiments (`go tool pprof` reads them), the same hooks `go test -bench`
@@ -60,12 +63,15 @@ func main() {
 
 func run() error {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k)")
+		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k, scale-1m)")
 		seed        = flag.Int64("seed", 1, "workload/trace synthesis seed")
 		repeats     = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
 		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
 		uniformJobs = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
 		scaleJobs   = flag.Int("scale-jobs", 0, "scale-100k stress trace length (default: 100000)")
+		scale1mJobs = flag.Int("scale1m-jobs", 0, "scale-1m streaming trace length (default: 1000000)")
+		shards      = flag.Int("shards", 0, "scale-1m cluster partitions; affects results (default: 8)")
+		shardWorker = flag.Int("shard-workers", 0, "concurrently advancing shards in scale-1m; never affects results (default: GOMAXPROCS)")
 		csvDirFlag  = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
 		seeds       = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
 		workers     = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
@@ -112,11 +118,14 @@ func run() error {
 	}
 
 	opts := experiments.Options{
-		Seed:        *seed,
-		Repeats:     *repeats,
-		TraceJobs:   *traceJobs,
-		UniformJobs: *uniformJobs,
-		ScaleJobs:   *scaleJobs,
+		Seed:         *seed,
+		Repeats:      *repeats,
+		TraceJobs:    *traceJobs,
+		UniformJobs:  *uniformJobs,
+		ScaleJobs:    *scaleJobs,
+		Scale1MJobs:  *scale1mJobs,
+		Shards:       *shards,
+		ShardWorkers: *shardWorker,
 	}
 
 	if *seeds > 1 || *workers > 0 || *cacheDir != "" {
@@ -162,6 +171,7 @@ func run() error {
 
 		"price-of-obliviousness": showPrice,
 		"scale-100k":             showScale100k,
+		"scale-1m":               showScale1M,
 	}
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
@@ -387,6 +397,16 @@ func showScale100k(opts experiments.Options) error {
 	fmt.Println("== Scale tier: heavy-tailed trace at 100,000 jobs ==")
 	fmt.Print(res.Table())
 	return writeCSV("scale-100k", res.WriteCSV)
+}
+
+func showScale1M(opts experiments.Options) error {
+	res, err := experiments.Scale1M(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Scale tier: streamed heavy-tailed trace at 1,000,000 jobs, sharded ==")
+	fmt.Print(res.Table())
+	return writeCSV("scale-1m", res.WriteCSV)
 }
 
 func showGeo(opts experiments.Options) error {

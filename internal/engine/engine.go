@@ -204,6 +204,11 @@ type sim struct {
 	busyIntegral float64 // container-seconds delivered (for utilization)
 	peakUsage    int
 	lastSample   float64
+
+	// Attempt-slab free-list accounting (see attemptRecycling).
+	attemptLive     int
+	attemptPeak     int
+	attemptRecycled int
 }
 
 // launchCand is one job below its container target in a scheduling round.
@@ -293,6 +298,12 @@ func (s *sim) run() error {
 		s.schedule()
 		s.sample()
 	}
+	if s.probe != nil {
+		// All three values are functions of the simulated run alone, so the
+		// event is byte-deterministic. Live counts slots still held at exit
+		// (killed copies whose completion events never drained).
+		s.probe.SlabStats(s.now, s.attemptLive, s.attemptPeak, s.attemptRecycled)
+	}
 	return nil
 }
 
@@ -339,9 +350,38 @@ func (s *sim) admit() {
 
 func (s *sim) handleAttemptDone(attemptID int) {
 	a := &s.attempts[attemptID]
-	if a.ended {
-		return // killed earlier (a speculative sibling won)
+	if !a.ended {
+		s.processAttemptDone(a)
 	}
+	// The slot is freed exactly when its own completion event fires: every
+	// attempt has exactly one pending event, so after this no reference to
+	// the slot remains (freeAttempt prunes it from the task's attempt list).
+	if attemptRecycling {
+		s.freeAttempt(a)
+	}
+}
+
+// freeAttempt returns an ended attempt's slab slot to the free list.
+func (s *sim) freeAttempt(a *attempt) {
+	js := s.byID[a.jobID]
+	task := &js.stages[a.stage].tasks[a.task]
+	task.attemptIDs = removeID(task.attemptIDs, a.id)
+	s.freeAttempts = append(s.freeAttempts, a.id)
+	s.attemptLive--
+}
+
+// removeID deletes the first occurrence of id, shifting in place.
+func removeID(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// processAttemptDone handles a not-yet-ended attempt's completion event.
+func (s *sim) processAttemptDone(a *attempt) {
 	s.finishAttempt(a)
 	js := s.byID[a.jobID]
 	st := &js.stages[a.stage]
@@ -608,10 +648,19 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		}
 	}
 
-	// Value append into the attempt slab; take the pointer only after the
+	// Take an attempt slot: a recycled one off the free list when available,
+	// else a value append into the slab. Take the pointer only after the
 	// append (a slab growth would strand a pre-append pointer).
-	id := len(s.attempts)
-	s.attempts = append(s.attempts, attempt{
+	var id int
+	if n := len(s.freeAttempts); attemptRecycling && n > 0 {
+		id = s.freeAttempts[n-1]
+		s.freeAttempts = s.freeAttempts[:n-1]
+		s.attemptRecycled++
+	} else {
+		id = len(s.attempts)
+		s.attempts = append(s.attempts, attempt{})
+	}
+	s.attempts[id] = attempt{
 		id:          id,
 		jobID:       js.spec.ID,
 		stage:       stage,
@@ -620,8 +669,13 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		start:       s.now,
 		success:     success,
 		speculative: speculative,
-	})
+	}
 	a := &s.attempts[id]
+	s.attemptLive++
+	if s.attemptLive > s.attemptPeak {
+		s.attemptPeak = s.attemptLive
+	}
+	task.lastStart = s.now
 	if !speculative {
 		a.invDur = 1 / duration
 	}
@@ -670,8 +724,10 @@ func (s *sim) speculate(reserved int) {
 				if task.done || task.runningAttempts != 1 {
 					continue // not running, or already duplicated
 				}
-				primary := s.attempts[task.attemptIDs[len(task.attemptIDs)-1]]
-				worstCase := primary.start + task.spec.Duration*s.cfg.StragglerFactor
+				// lastStart is the most recent attempt's launch time — the same
+				// value the attempt slab's newest entry for this task holds, but
+				// safe to read when recycling has repurposed ended slots.
+				worstCase := task.lastStart + task.spec.Duration*s.cfg.StragglerFactor
 				cands = append(cands, specCand{js: js, stage: si, task: ti, remaining: worstCase - s.now})
 			}
 		}

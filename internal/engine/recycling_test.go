@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lasmq/internal/core"
+	"lasmq/internal/workload"
+)
+
+// TestAttemptRecyclingByteIdentical pins the free-list contract: recycling
+// ended attempts' slab slots must not change any result. It runs the Table-I
+// mix — including a failures+stragglers+speculation configuration, whose kill
+// paths and speculation scans are exactly where a stale recycled slot would
+// leak into results — with recycling on and off and requires deep equality.
+func TestAttemptRecyclingByteIdentical(t *testing.T) {
+	defer func(orig bool) { attemptRecycling = orig }(attemptRecycling)
+
+	configs := map[string]func() Config{
+		"default": DefaultConfig,
+		"chaos": func() Config {
+			cfg := DefaultConfig()
+			cfg.FailureProb = 0.1
+			cfg.StragglerProb = 0.1
+			cfg.StragglerFactor = 4
+			cfg.Speculation = true
+			cfg.Seed = 7
+			return cfg
+		},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		wcfg := workload.DefaultConfig()
+		wcfg.Seed = seed
+		specs, err := workload.Generate(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, mkCfg := range configs {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, name), func(t *testing.T) {
+				var runs [2]*Result
+				for i, recycle := range []bool{false, true} {
+					attemptRecycling = recycle
+					mq, err := core.New(core.DefaultConfig())
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(specs, mq, mkCfg())
+					if err != nil {
+						t.Fatal(err)
+					}
+					runs[i] = res
+				}
+				if !reflect.DeepEqual(runs[0], runs[1]) {
+					t.Fatal("attempt recycling changed results")
+				}
+			})
+		}
+	}
+}
+
+// TestAttemptRecyclingBoundsSlab pins the memory property the free list
+// exists for: with recycling, the attempt slab's length stays far below the
+// total number of attempts launched (it tracks peak in-flight attempts).
+func TestAttemptRecyclingBoundsSlab(t *testing.T) {
+	if !attemptRecycling {
+		t.Skip("recycling disabled")
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = 1
+	specs, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	s := newSim(specs, mq, cfg)
+	defer s.release()
+	if err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	launched := len(s.attempts) + s.attemptRecycled
+	if launched < 1000 {
+		t.Fatalf("workload too small to exercise recycling: %d attempts", launched)
+	}
+	if len(s.attempts) != s.attemptPeak {
+		t.Errorf("slab length %d != peak in-flight %d", len(s.attempts), s.attemptPeak)
+	}
+	if s.attemptPeak*4 > s.attemptRecycled {
+		t.Errorf("peak %d not far below recycled %d: slab not bounded by in-flight attempts",
+			s.attemptPeak, s.attemptRecycled)
+	}
+	if s.attemptLive != 0 {
+		t.Errorf("%d attempts still live after a clean run", s.attemptLive)
+	}
+}

@@ -35,6 +35,10 @@ type taskState struct {
 	done            bool
 	runningAttempts int
 	attemptIDs      []int
+	// lastStart is the launch time of the task's most recent attempt. The
+	// speculation scan reads it instead of indexing the attempt slab, so
+	// recycling an ended attempt's slot cannot change what speculate sees.
+	lastStart float64
 }
 
 // stageState tracks one stage, with O(1) aggregates for service accounting
@@ -273,6 +277,13 @@ func (v *jobView) ExactRemaining() float64 {
 // so the equivalence test can force the migration on small workloads.
 var ladderThreshold = 4096
 
+// attemptRecycling returns ended attempts' slab slots to a free list as soon
+// as their completion event fires, bounding the attempt slab by the peak
+// number of in-flight attempts instead of the total launched. A var so the
+// differential tests can prove the recycled and append-only slabs produce
+// byte-identical results.
+var attemptRecycling = true
+
 // eventHeap wraps the two event-queue implementations behind one push/pop
 // surface with same-timestamp batching, so a burst of simultaneous
 // completions triggers a single scheduling round. It starts on the binary
@@ -344,6 +355,10 @@ type arena struct {
 	// place and a rare overflow (task retries) spills to the heap safely.
 	ints     []int
 	attempts []attempt // value slab; grows by append during the run
+	// freeAttempts lists recycled attempt slots (see attemptRecycling); an
+	// ended attempt's slot joins it when the attempt's own completion event
+	// fires, the one moment no pending event references the slot.
+	freeAttempts []int
 
 	byID  map[int]*jobState // job ID -> slab entry (pointers are stable)
 	order []int             // job IDs in workload order (deterministic iteration)
@@ -379,11 +394,16 @@ func (a *arena) build(specs []job.Spec) {
 	a.stages = substrate.GrowSlab(a.stages, nStages)
 	a.tasks = substrate.GrowSlab(a.tasks, nTasks)
 	a.ints = substrate.GrowSlab(a.ints, nStages+2*nTasks)
-	if cap(a.attempts) < nTasks {
+	if attemptRecycling {
+		// Recycling bounds the slab by peak in-flight attempts; let it grow
+		// on demand instead of pre-sizing for one attempt per task.
+		a.attempts = a.attempts[:0]
+	} else if cap(a.attempts) < nTasks {
 		a.attempts = make([]attempt, 0, nTasks)
 	} else {
 		a.attempts = a.attempts[:0]
 	}
+	a.freeAttempts = a.freeAttempts[:0]
 	if a.byID == nil {
 		a.byID = make(map[int]*jobState, len(specs))
 	} else {

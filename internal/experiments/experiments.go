@@ -45,6 +45,18 @@ type Options struct {
 	// 100,000 — roughly 4x the paper's trace). Tests shrink it; the
 	// benchmark tier runs it in full.
 	ScaleJobs int
+	// Scale1MJobs overrides the scale-1m streaming trace length (default:
+	// 1,000,000). The trace is never materialized: each shard streams its
+	// stride of a per-seed deterministic generator.
+	Scale1MJobs int
+	// Shards partitions the scale-1m cluster into this many independent
+	// 20-container sub-clusters (default 8). Part of the simulated system —
+	// it changes results and is folded into the cache fingerprint.
+	Shards int
+	// ShardWorkers bounds how many shards advance concurrently in scale-1m
+	// (0 = GOMAXPROCS). Execution parallelism only: results are identical
+	// for any value, so it is deliberately NOT fingerprinted.
+	ShardWorkers int
 	// FullReschedule forwards engine.Config.FullReschedule: it disables the
 	// task-level engine's incremental round fast paths, re-invoking the
 	// policy every round. Results must be identical either way (a
@@ -73,6 +85,12 @@ func (o Options) Defaults() Options {
 	}
 	if o.ScaleJobs <= 0 {
 		o.ScaleJobs = 100000
+	}
+	if o.Scale1MJobs <= 0 {
+		o.Scale1MJobs = 1000000
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
 	}
 	return o
 }

@@ -18,8 +18,10 @@ import (
 // are ignored — the runner owns seeding, and each replication is one repeat.
 func Registry(opts Options) []runner.Experiment {
 	opts = opts.Defaults()
-	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,scale-jobs=%d,full-resched=%t",
-		opts.TraceJobs, opts.UniformJobs, opts.ScaleJobs, opts.FullReschedule)
+	// ShardWorkers is execution parallelism only (results are identical for
+	// any value), so it is deliberately absent from the fingerprint.
+	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,scale-jobs=%d,scale1m-jobs=%d,shards=%d,full-resched=%t",
+		opts.TraceJobs, opts.UniformJobs, opts.ScaleJobs, opts.Scale1MJobs, opts.Shards, opts.FullReschedule)
 	perSeed := func(seed int64) Options {
 		o := opts
 		o.Seed = seed
@@ -212,6 +214,13 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			return traceCells(res), nil
 		}),
+		exp("scale-1m", func(seed int64) ([]runner.Cell, error) {
+			res, err := Scale1M(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
 	}
 }
 
@@ -253,7 +262,7 @@ func RegistryNames() []string {
 	return []string{
 		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
 		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
-		"price-of-obliviousness", "scale-100k",
+		"price-of-obliviousness", "scale-100k", "scale-1m",
 	}
 }
 

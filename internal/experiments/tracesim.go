@@ -75,6 +75,56 @@ func Scale100k(opts Options) (*TraceResult, error) {
 	return runTrace(specs, fcfg, traceLASMQ)
 }
 
+// Scale1M runs the heavy-tailed trace at a million jobs (default) — the tier
+// past what a materialized trace and a single event loop handle comfortably.
+// The trace is streamed (each shard pulls its stride of a per-seed
+// deterministic generator; nothing is materialized) and the cluster is
+// opts.Shards independent 20-container sub-clusters, each at load 0.9,
+// advanced concurrently by up to opts.ShardWorkers workers. Shards changes
+// results (and is fingerprinted); ShardWorkers never does. Peak heap is
+// bounded by the jobs live at once, not the trace length; BenchmarkScale1M
+// records runtime and peak heap in BENCH_engine.json.
+func Scale1M(opts Options) (*TraceResult, error) {
+	opts = opts.Defaults()
+	tcfg := trace.DefaultFacebookConfig()
+	tcfg.Jobs = opts.Scale1MJobs
+	tcfg.Seed = opts.Seed
+	// Global capacity scales with the shard count so every sub-cluster is
+	// the Fig. 7a system: 20 containers at load 0.9.
+	tcfg.Capacity = 20 * float64(opts.Shards)
+	scfg := fluid.ShardedConfig{
+		Config:  fluid.DefaultConfig(),
+		Shards:  opts.Shards,
+		Workers: opts.ShardWorkers,
+	}
+	scfg.Capacity = tcfg.Capacity
+	scfg.Probe = opts.Probe
+	res := &TraceResult{
+		Mean:       make(map[string]float64, len(PolicyOrder)),
+		Normalized: make(map[string]float64, len(PolicyOrder)),
+	}
+	for _, name := range PolicyOrder {
+		newSource := func(shard int) (fluid.Source, error) {
+			src, err := trace.NewFacebookSource(tcfg)
+			if err != nil {
+				return nil, err
+			}
+			return fluid.Strided(src, shard, opts.Shards), nil
+		}
+		newPol := func() (sched.Scheduler, error) { return newPolicy(name, traceLASMQ) }
+		run, err := fluid.RunSharded(newSource, newPol, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("scale-1m %s: %w", name, err)
+		}
+		res.Mean[name] = run.MeanResponseTime()
+	}
+	fair := res.Mean[PolicyFair]
+	for _, name := range PolicyOrder {
+		res.Normalized[name] = stats.Normalized(fair, res.Mean[name])
+	}
+	return res, nil
+}
+
 func runTrace(specs []fluid.JobSpec, fcfg fluid.Config, mq func() (*core.LASMQ, error)) (*TraceResult, error) {
 	res := &TraceResult{
 		Mean:       make(map[string]float64, len(PolicyOrder)),

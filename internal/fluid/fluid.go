@@ -259,6 +259,16 @@ func (a *arena) build(specs []JobSpec, taskDuration float64) {
 	})
 }
 
+// buildStream resets the arena for a streaming run: job records come from
+// the run's free-list pool rather than the jobs slab, so only the pointer
+// lists, result map and view registry are prepared (with backing storage
+// kept, as in build).
+func (a *arena) buildStream() {
+	a.pending = a.pending[:0]
+	a.active = a.active[:0]
+	clear(a.results)
+}
+
 // scrub drops every reference the arena holds into the finished run so a
 // pooled arena cannot pin caller memory, keeping the backing storage.
 func (a *arena) scrub() {
@@ -269,6 +279,37 @@ func (a *arena) scrub() {
 	a.active = a.active[:0]
 	clear(a.results)
 	a.vs.Reset()
+}
+
+// arrivalCursor feeds the run loop its arrival stream: peek reports the next
+// arrival time (or that the stream is exhausted, or a source error), and pop
+// consumes the peeked job. Run walks the arena's pre-sorted pending list;
+// RunStream pulls specs from a Source and materializes job records from a
+// free-list pool on demand, so both share one event loop — the operations
+// (and their floating-point order) are identical, which is what makes the
+// streaming-versus-materialized differential byte-exact.
+type arrivalCursor interface {
+	peek() (arrival float64, ok bool, err error)
+	pop() *fluidJob
+}
+
+// pendingCursor walks a materialized run's sorted pending list.
+type pendingCursor struct {
+	list []*fluidJob
+	i    int
+}
+
+func (c *pendingCursor) peek() (float64, bool, error) {
+	if c.i >= len(c.list) {
+		return 0, false, nil
+	}
+	return c.list[c.i].spec.Arrival, true, nil
+}
+
+func (c *pendingCursor) pop() *fluidJob {
+	j := c.list[c.i]
+	c.i++
+	return j
 }
 
 // sim is one fluid run: the kernel modules (policy driver, admission queue,
@@ -283,8 +324,9 @@ type sim struct {
 	adm    *substrate.Queue[*fluidJob]
 	*arena
 
-	pi  int // next pending index
-	now float64
+	cur    arrivalCursor
+	finish func(j *fluidJob, jr JobResult) // per-completion sink
+	now    float64
 
 	rounds    int
 	makespan  float64
@@ -303,6 +345,8 @@ func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
 		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
 		arena:  ar,
 	}
+	s.cur = &pendingCursor{list: ar.pending}
+	s.finish = func(j *fluidJob, jr JobResult) { s.results[j.spec.ID] = jr }
 	s.driver.SetProbe(cfg.Probe)
 	if s.probe != nil {
 		s.probe.ArenaReuse(len(specs), 0, reused)
@@ -333,26 +377,37 @@ func (s *sim) admit() {
 
 func (s *sim) run() error {
 	capacity := s.cfg.Capacity
-	for s.pi < len(s.pending) || len(s.active) > 0 || s.adm.Waiting() > 0 {
+	for {
 		// Admit arrivals due by now.
-		for s.pi < len(s.pending) && s.pending[s.pi].spec.Arrival <= s.now+1e-12 {
-			s.adm.Push(s.pending[s.pi])
-			if s.probe != nil {
-				s.probe.JobSubmitted(s.now, s.pending[s.pi].spec.ID)
+		for {
+			t, ok, err := s.cur.peek()
+			if err != nil {
+				return err
 			}
-			s.pi++
+			if !ok || t > s.now+1e-12 {
+				break
+			}
+			j := s.cur.pop()
+			s.adm.Push(j)
+			if s.probe != nil {
+				s.probe.JobSubmitted(s.now, j.spec.ID)
+			}
 		}
 		s.admit()
 
 		if len(s.active) == 0 {
 			// Idle: jump to the next arrival.
-			if s.pi >= len(s.pending) {
+			t, ok, err := s.cur.peek()
+			if err != nil {
+				return err
+			}
+			if !ok {
 				if s.adm.Waiting() > 0 {
 					return s.adm.Stuck("fluid")
 				}
 				break
 			}
-			if t := s.pending[s.pi].spec.Arrival; t > s.now {
+			if t > s.now {
 				s.now = t
 			}
 			continue
@@ -378,8 +433,10 @@ func (s *sim) run() error {
 
 		// Next event: arrival, earliest completion, policy horizon, step cap.
 		next := math.Inf(1)
-		if s.pi < len(s.pending) {
-			next = s.pending[s.pi].spec.Arrival
+		if t, ok, err := s.cur.peek(); err != nil {
+			return err
+		} else if ok {
+			next = t
 		}
 		for _, j := range s.active {
 			if j.rate > 0 {
@@ -414,7 +471,7 @@ func (s *sim) run() error {
 				s.adm.Done()
 				iso := j.spec.Size / math.Min(j.spec.Width, capacity)
 				response := s.now - j.spec.Arrival
-				s.results[j.spec.ID] = JobResult{
+				jr := JobResult{
 					ID:           j.spec.ID,
 					Arrival:      j.spec.Arrival,
 					Completed:    s.now,
@@ -429,6 +486,7 @@ func (s *sim) run() error {
 				if s.probe != nil {
 					s.probe.JobDone(s.now, j.spec.ID, response)
 				}
+				s.finish(j, jr)
 				continue
 			}
 			live = append(live, j)

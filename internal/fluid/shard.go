@@ -1,0 +1,147 @@
+// Sharded simulation: the cluster is partitioned into Shards independent
+// sub-clusters of equal capacity, each simulated as its own streaming fluid
+// run over its own source, and the per-shard results are folded in shard
+// order. The two knobs are deliberately distinct:
+//
+//   - Shards is part of the simulated system. It changes results (jobs in
+//     different shards never share capacity) and therefore belongs in cache
+//     fingerprints. A Shards=1 run is byte-identical to an unsharded run.
+//   - Workers is execution parallelism only — how many OS threads advance
+//     shards concurrently, the way internal/runner fans seeds over a worker
+//     pool. Shards are independent simulations and the merge folds their
+//     results in shard-index order (never completion-race order, which
+//     would make floating-point sums racy), so Workers NEVER affects
+//     results: Workers=1 and Workers=8 are byte-identical.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lasmq/internal/sched"
+)
+
+// ShardedConfig parameterizes a sharded run. The embedded Config describes
+// the whole cluster: Capacity is divided evenly across shards, and
+// MaxRunningJobs (if set) applies per shard.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of cluster partitions (>= 1; 0 means 1).
+	Shards int
+	// Workers bounds concurrently advancing shards; 0 means GOMAXPROCS.
+	// It never affects results. When a Probe is attached, execution is
+	// serialized (Workers=1) so sinks need not be concurrency-safe and the
+	// event stream stays deterministic; being execution-only, that cannot
+	// change results either.
+	Workers int
+}
+
+// RunSharded simulates a trace partitioned across cfg.Shards independent
+// sub-clusters. newSource must return shard i's job stream — typically
+// Strided(src, i, cfg.Shards) over an independent source instance per shard
+// — and newPolicy a fresh scheduler per shard. Per-shard results are folded
+// in shard-index order into one StreamResult (Makespan is the max across
+// shards, Utilization is total delivered service over total capacity across
+// the global makespan).
+func RunSharded(newSource func(shard int) (Source, error), newPolicy func() (sched.Scheduler, error), cfg ShardedConfig) (*StreamResult, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fluid: shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("fluid: workers must be >= 0, got %d", cfg.Workers)
+	}
+	if newSource == nil || newPolicy == nil {
+		return nil, errors.New("fluid: nil source or policy constructor")
+	}
+	if err := cfg.Config.validate(); err != nil {
+		return nil, err
+	}
+
+	shardCfg := cfg.Config
+	shardCfg.Capacity = cfg.Capacity / float64(cfg.Shards)
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	if cfg.Probe != nil {
+		workers = 1
+	}
+
+	results := make([]*StreamResult, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	runShard := func(shard int) {
+		src, err := newSource(shard)
+		if err != nil {
+			errs[shard] = err
+			return
+		}
+		policy, err := newPolicy()
+		if err != nil {
+			errs[shard] = err
+			return
+		}
+		results[shard], errs[shard] = RunStream(src, policy, shardCfg, nil)
+	}
+
+	if workers == 1 {
+		// Serial path: shards advance in index order (deterministic probe
+		// event stream).
+		for shard := 0; shard < cfg.Shards; shard++ {
+			runShard(shard)
+		}
+	} else {
+		// Worker pool in the runner's style: workers write disjoint slots of
+		// the results grid, so the pool size cannot affect the outcome.
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for shard := range work {
+					runShard(shard)
+				}
+			}()
+		}
+		for shard := 0; shard < cfg.Shards; shard++ {
+			work <- shard
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Fold in shard-index order: deterministic float summation.
+	out := &StreamResult{}
+	for shard, r := range results {
+		if errs[shard] != nil {
+			return nil, fmt.Errorf("fluid: shard %d: %w", shard, errs[shard])
+		}
+		if shard == 0 {
+			out.Scheduler = r.Scheduler
+		}
+		out.Jobs += r.Jobs
+		out.Rounds += r.Rounds
+		out.SumResponse += r.SumResponse
+		out.SumSlowdown += r.SumSlowdown
+		out.Delivered += r.Delivered
+		if r.Makespan > out.Makespan {
+			out.Makespan = r.Makespan
+		}
+		out.Slab.Live += r.Slab.Live
+		out.Slab.Peak += r.Slab.Peak
+		out.Slab.Recycled += r.Slab.Recycled
+	}
+	if out.Makespan > 0 {
+		out.Utilization = out.Delivered / (out.Makespan * cfg.Capacity)
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package fluid
+
+import (
+	"errors"
+	"fmt"
+
+	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
+)
+
+// StreamResult reports a streaming (or sharded) fluid run. Unlike Result it
+// holds no per-job slice — a million-job run keeps running aggregates only;
+// per-job records flow through RunStream's callback as jobs complete. The
+// response and slowdown sums accumulate in completion order (deterministic
+// for a given seeded run), not trace order, so their last-ulp values may
+// differ from a materialized Result's trace-order sums; the differential
+// tests compare the per-job outcomes, which are byte-identical.
+type StreamResult struct {
+	// Scheduler is the policy name (sched.Scheduler.Name).
+	Scheduler string
+	// Jobs is the number of completed jobs.
+	Jobs int
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// Utilization is the time-averaged fraction of capacity in use over the
+	// makespan.
+	Utilization float64
+	// Delivered is the total service delivered in capacity-time units
+	// (Utilization's numerator, kept explicit so sharded runs can fold
+	// per-shard results exactly).
+	Delivered float64
+	// Rounds is the number of scheduling rounds executed.
+	Rounds int
+	// SumResponse and SumSlowdown accumulate per-job response times and
+	// slowdowns in completion order.
+	SumResponse float64
+	SumSlowdown float64
+	// Slab reports the job-record free list: peak live jobs bounds the run's
+	// state memory, recycled counts mid-run slot reuses. Sharded runs sum the
+	// per-shard values.
+	Slab substrate.SlabStats
+}
+
+// MeanResponseTime is the average job response time; 0 with no jobs.
+func (r *StreamResult) MeanResponseTime() float64 {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return r.SumResponse / float64(r.Jobs)
+}
+
+// MeanSlowdown is the average job slowdown; 0 with no jobs.
+func (r *StreamResult) MeanSlowdown() float64 {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return r.SumSlowdown / float64(r.Jobs)
+}
+
+// sourceCursor adapts a Source to the run loop's arrival cursor: peek reads
+// one spec ahead (validating it), pop materializes the job record from the
+// free-list pool. Completed records return to the pool, so the run's job
+// state is bounded by the peak number of live jobs.
+type sourceCursor struct {
+	src          Source
+	pool         *substrate.SlabPool[fluidJob]
+	taskDuration float64
+
+	spec JobSpec
+	have bool
+	done bool
+	err  error
+	last float64 // last yielded arrival, for the nondecreasing check
+	n    int     // specs yielded, for error positions
+}
+
+func (c *sourceCursor) peek() (float64, bool, error) {
+	if c.err != nil {
+		return 0, false, c.err
+	}
+	if c.have {
+		return c.spec.Arrival, true, nil
+	}
+	if c.done {
+		return 0, false, nil
+	}
+	spec, ok, err := c.src.Next()
+	if err != nil {
+		c.err = fmt.Errorf("fluid: source: %w", err)
+		return 0, false, c.err
+	}
+	if !ok {
+		c.done = true
+		return 0, false, nil
+	}
+	if err := c.validate(&spec); err != nil {
+		c.err = err
+		return 0, false, c.err
+	}
+	c.n++
+	c.last = spec.Arrival
+	c.spec = spec
+	c.have = true
+	return spec.Arrival, true, nil
+}
+
+func (c *sourceCursor) validate(s *JobSpec) error {
+	if s.Size <= 0 {
+		return fmt.Errorf("fluid: job %d has non-positive size %v", s.ID, s.Size)
+	}
+	if s.Width < 1 {
+		return fmt.Errorf("fluid: job %d has width %v < 1", s.ID, s.Width)
+	}
+	if s.Arrival < 0 {
+		return fmt.Errorf("fluid: job %d has negative arrival %v", s.ID, s.Arrival)
+	}
+	if c.n > 0 && s.Arrival < c.last {
+		return fmt.Errorf("fluid: source not sorted: job %d arrives at %v after %v",
+			s.ID, s.Arrival, c.last)
+	}
+	return nil
+}
+
+func (c *sourceCursor) pop() *fluidJob {
+	j := c.pool.Get()
+	j.spec = c.spec
+	j.view.j = j
+	j.view.taskDuration = c.taskDuration
+	c.have = false
+	return j
+}
+
+// RunStream simulates a streamed trace under the given policy. The source
+// must yield jobs in nondecreasing arrival order (trace generators and
+// WriteCSV output are; an unsorted stream is an error — a streaming run
+// cannot sort what it has not read). Completed jobs are reported through
+// each (in completion order) when non-nil, and their records return to a
+// free-list pool, so peak memory is bounded by the jobs live at once, not
+// the trace length. The scheduler instance must be fresh. Unlike Run,
+// duplicate job IDs are not detected (that check needs trace-length state).
+func RunStream(src Source, policy sched.Scheduler, cfg Config, each func(JobResult)) (*StreamResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("fluid: nil scheduler")
+	}
+	if src == nil {
+		return nil, errors.New("fluid: nil source")
+	}
+	ar := arenaPool.Get().(*arena)
+	ar.buildStream()
+	var pool substrate.SlabPool[fluidJob]
+	out := &StreamResult{}
+	s := &sim{
+		cfg:    cfg,
+		probe:  cfg.Probe,
+		driver: substrate.NewDriver(policy),
+		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
+		arena:  ar,
+		cur:    &sourceCursor{src: src, pool: &pool, taskDuration: cfg.TaskDuration},
+	}
+	s.finish = func(j *fluidJob, jr JobResult) {
+		out.Jobs++
+		out.SumResponse += jr.ResponseTime
+		out.SumSlowdown += jr.Slowdown
+		if each != nil {
+			each(jr)
+		}
+		pool.Put(j)
+	}
+	s.driver.SetProbe(cfg.Probe)
+	defer s.release()
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	out.Scheduler = s.driver.Name()
+	out.Makespan = s.makespan
+	out.Delivered = s.delivered
+	if s.makespan > 0 {
+		out.Utilization = s.delivered / (s.makespan * s.cfg.Capacity)
+	}
+	out.Rounds = s.rounds
+	out.Slab = pool.Stats()
+	if s.probe != nil {
+		s.probe.SlabStats(s.now, out.Slab.Live, out.Slab.Peak, out.Slab.Recycled)
+	}
+	return out, nil
+}

@@ -197,6 +197,15 @@ func (t *ChromeTrace) EventqMigrate(now float64, pending int) {
 	})
 }
 
+func (t *ChromeTrace) SlabStats(now float64, live, peak, recycled int) {
+	t.events = append(t.events, chromeEvent{
+		Name: "slab free-list", Cat: "scheduler", Ph: "i",
+		Ts: now * usec, Pid: chromeSchedPid, Tid: 0,
+		Args: map[string]any{"live": live, "peak": peak, "recycled": recycled},
+	})
+	t.stamp(now * usec)
+}
+
 // Export closes the queue spans of jobs still resident at end of trace,
 // sorts the collected events by timestamp (metadata first), and writes the
 // Chrome trace JSON array.

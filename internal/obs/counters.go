@@ -38,6 +38,11 @@ type CounterSnapshot struct {
 
 	EventqMigrations int64 `json:"eventq_migrations"`
 	ArenaReuses      int64 `json:"arena_reuses"`
+
+	// SlabPeakLive is the largest per-run peak of live slab free-list
+	// records seen; SlabRecycled sums mid-run slot recycles across runs.
+	SlabPeakLive int64 `json:"slab_peak_live"`
+	SlabRecycled int64 `json:"slab_recycled"`
 }
 
 // TotalDemotions sums demotions across destination queues.
@@ -83,6 +88,10 @@ func (s CounterSnapshot) WriteSummary(w io.Writer) {
 	}
 	if s.ArenaReuses > 0 {
 		fmt.Fprintf(w, "  arena reuses                       %d\n", s.ArenaReuses)
+	}
+	if s.SlabRecycled > 0 || s.SlabPeakLive > 0 {
+		fmt.Fprintf(w, "  slab free-list peak live/recycled  %d / %d\n",
+			s.SlabPeakLive, s.SlabRecycled)
 	}
 }
 
@@ -207,5 +216,14 @@ func (c *Counters) ArenaReuse(_, _ int, reused bool) {
 	if reused {
 		c.s.ArenaReuses++
 	}
+	c.mu.Unlock()
+}
+
+func (c *Counters) SlabStats(_ float64, _, peak, recycled int) {
+	c.mu.Lock()
+	if int64(peak) > c.s.SlabPeakLive {
+		c.s.SlabPeakLive = int64(peak)
+	}
+	c.s.SlabRecycled += int64(recycled)
 	c.mu.Unlock()
 }

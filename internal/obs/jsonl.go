@@ -190,3 +190,14 @@ func (j *JSONL) ArenaReuse(jobs, tasks int, _ bool) {
 	j.intField("tasks", tasks)
 	j.end()
 }
+
+// SlabStats logs the per-run free-list counts. All three are functions of
+// the simulated run alone (not of pool state shared across runs), so the
+// event is byte-deterministic for a given seeded run.
+func (j *JSONL) SlabStats(now float64, live, peak, recycled int) {
+	j.line("slab", now)
+	j.intField("live", live)
+	j.intField("peak", peak)
+	j.intField("recycled", recycled)
+	j.end()
+}

@@ -68,6 +68,11 @@ type Probe interface {
 	// ArenaReuse fires once per run with slab-arena statistics: the job
 	// and task counts carved, and whether a pooled arena was reused.
 	ArenaReuse(jobs, tasks int, reused bool)
+	// SlabStats fires once per run (or per shard of a sharded run) with the
+	// run's slab free-list statistics: records still live at the end, the
+	// peak live high-water mark, and how many allocations were served by
+	// recycling a completed record's slot mid-run.
+	SlabStats(now float64, live, peak, recycled int)
 }
 
 // ProbeSetter is implemented by schedulers (and scheduler wrappers) that
@@ -98,6 +103,7 @@ func (Nop) RoundExecuted(float64, int)                     {}
 func (Nop) RoundSkipped(float64, bool)                     {}
 func (Nop) EventqMigrate(float64, int)                     {}
 func (Nop) ArenaReuse(int, int, bool)                      {}
+func (Nop) SlabStats(float64, int, int, int)               {}
 
 // multi fans every event out to each attached probe in order.
 type multi []Probe
@@ -231,5 +237,11 @@ func (m multi) EventqMigrate(now float64, pending int) {
 func (m multi) ArenaReuse(jobs, tasks int, reused bool) {
 	for _, p := range m {
 		p.ArenaReuse(jobs, tasks, reused)
+	}
+}
+
+func (m multi) SlabStats(now float64, live, peak, recycled int) {
+	for _, p := range m {
+		p.SlabStats(now, live, peak, recycled)
 	}
 }

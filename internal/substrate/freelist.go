@@ -1,0 +1,64 @@
+package substrate
+
+// SlabPool is a chunked free-list arena: records are carved from fixed-size
+// chunks (so pointers to them are stable for the pool's lifetime) and
+// returned records are recycled before a new chunk is touched. It is the
+// streaming substrates' complement to GrowSlab: where GrowSlab sizes a slab
+// to the whole trace up front, a SlabPool holds only the records that are
+// live at once, so a million-job run whose live set peaks at a few thousand
+// jobs allocates a few thousand records — peak heap tracks live jobs, not
+// trace length. Like the rest of the kernel it is single-loop state: not
+// safe for concurrent use.
+type SlabPool[T any] struct {
+	chunks [][]T
+	free   []*T
+	next   int // carve index into the newest chunk
+	stats  SlabStats
+}
+
+// slabChunk is the per-chunk record count: large enough to amortize chunk
+// allocations, small enough that a near-idle run wastes little.
+const slabChunk = 1024
+
+// SlabStats reports a pool's recycling behaviour: Live records currently
+// checked out, the Peak live high-water mark, and how many Gets were served
+// by Recycled (previously returned) records rather than fresh carves.
+type SlabStats struct {
+	Live     int
+	Peak     int
+	Recycled int
+}
+
+// Get returns a zeroed record, recycling a returned one when available.
+func (p *SlabPool[T]) Get() *T {
+	p.stats.Live++
+	if p.stats.Live > p.stats.Peak {
+		p.stats.Peak = p.stats.Live
+	}
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		var zero T
+		*x = zero
+		p.stats.Recycled++
+		return x
+	}
+	if len(p.chunks) == 0 || p.next == slabChunk {
+		p.chunks = append(p.chunks, make([]T, slabChunk))
+		p.next = 0
+	}
+	x := &p.chunks[len(p.chunks)-1][p.next]
+	p.next++
+	return x
+}
+
+// Put returns a record to the pool for recycling. The caller must not use it
+// afterwards; the record is zeroed on its next Get.
+func (p *SlabPool[T]) Put(x *T) {
+	p.stats.Live--
+	p.free = append(p.free, x)
+}
+
+// Stats returns the pool's current recycling statistics.
+func (p *SlabPool[T]) Stats() SlabStats { return p.stats }

@@ -1,0 +1,69 @@
+package substrate
+
+import "testing"
+
+func TestSlabPoolRecycles(t *testing.T) {
+	var p SlabPool[[4]int]
+	a := p.Get()
+	b := p.Get()
+	if a == b {
+		t.Fatal("distinct Gets returned the same record")
+	}
+	(*a)[0] = 7
+	p.Put(a)
+	c := p.Get()
+	if c != a {
+		t.Fatal("Get did not recycle the returned record")
+	}
+	if (*c)[0] != 0 {
+		t.Fatal("recycled record not zeroed")
+	}
+	s := p.Stats()
+	if s.Live != 2 || s.Peak != 2 || s.Recycled != 1 {
+		t.Fatalf("stats = %+v, want Live 2 Peak 2 Recycled 1", s)
+	}
+}
+
+func TestSlabPoolStablePointersAcrossChunks(t *testing.T) {
+	var p SlabPool[int]
+	n := 3*slabChunk + 5
+	ptrs := make([]*int, n)
+	for i := range ptrs {
+		ptrs[i] = p.Get()
+		*ptrs[i] = i
+	}
+	for i, x := range ptrs {
+		if *x != i {
+			t.Fatalf("record %d clobbered after later carves: got %d", i, *x)
+		}
+	}
+	s := p.Stats()
+	if s.Live != n || s.Peak != n || s.Recycled != 0 {
+		t.Fatalf("stats = %+v, want Live/Peak %d Recycled 0", s, n)
+	}
+}
+
+func TestSlabPoolPeakBoundsLive(t *testing.T) {
+	var p SlabPool[int]
+	// Churn far more records than are ever live at once: peak stays at the
+	// live bound and all but the first window recycle.
+	const window, total = 16, 1000
+	live := make([]*int, 0, window)
+	for i := 0; i < total; i++ {
+		if len(live) == window {
+			p.Put(live[0])
+			live = live[1:]
+		}
+		live = append(live, p.Get())
+	}
+	s := p.Stats()
+	if s.Peak != window {
+		t.Fatalf("peak = %d, want %d", s.Peak, window)
+	}
+	if s.Recycled != total-window {
+		t.Fatalf("recycled = %d, want %d", s.Recycled, total-window)
+	}
+	if got := len(p.chunks); got != 1 {
+		t.Fatalf("allocated %d chunks for a %d-record live set", got, window)
+	}
+}

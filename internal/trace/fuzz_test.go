@@ -3,12 +3,19 @@ package trace
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
+	"testing/iotest"
+
+	"lasmq/internal/fluid"
 )
 
-// FuzzReadCSV ensures the trace parser never panics on arbitrary input and
-// that anything it accepts round-trips through WriteCSV.
+// FuzzReadCSV ensures the trace parser never panics on arbitrary input, that
+// anything it accepts round-trips through WriteCSV, and that the chunked
+// streaming reader (which ReadCSV wraps) agrees with itself under the most
+// hostile chunking — a one-byte-at-a-time reader splitting every record
+// across reads.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("id,arrival,size,width,priority\n1,0,10,2,1\n")
 	f.Add("id,arrival,size,width,priority\n")
@@ -32,8 +39,28 @@ func FuzzReadCSV(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, input string) {
 		specs, err := ReadCSV(strings.NewReader(input))
+
+		// The streaming reader must agree with the materialized parse under
+		// one-byte reads (every chunk boundary lands inside a record):
+		// identical specs on success, an error whenever ReadCSV errors.
+		chunked, chunkedErr := func() ([]fluid.JobSpec, error) {
+			src, serr := NewCSVSource(iotest.OneByteReader(strings.NewReader(input)))
+			if serr != nil {
+				return nil, serr
+			}
+			return Collect(src)
+		}()
 		if err != nil {
+			if chunkedErr == nil {
+				t.Fatalf("chunked reader accepted input ReadCSV rejects (%v)", err)
+			}
 			return // rejected input is fine; panics are not
+		}
+		if chunkedErr != nil {
+			t.Fatalf("chunked reader rejected accepted input: %v", chunkedErr)
+		}
+		if !reflect.DeepEqual(chunked, specs) {
+			t.Fatal("chunked parse differs from materialized parse")
 		}
 		// Anything accepted must be simulatable: finite positive sizes and
 		// widths, sane arrivals and priorities.

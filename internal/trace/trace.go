@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"strconv"
 
 	"lasmq/internal/dist"
@@ -99,59 +100,45 @@ func (c *FacebookConfig) validate() error {
 	return nil
 }
 
-// Facebook synthesizes the heavy-tailed trace.
+// Facebook synthesizes the heavy-tailed trace, materialized. It is a
+// compatibility wrapper over NewFacebookSource and yields the identical
+// sequence.
 func Facebook(cfg FacebookConfig) ([]fluid.JobSpec, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	r := dist.New(cfg.Seed)
-
-	// Draw raw sizes: lognormal body + bounded Pareto tail.
-	sizes := make([]float64, cfg.Jobs)
-	var sum float64
-	for i := range sizes {
-		var s float64
-		if r.Float64() < cfg.TailFraction {
-			s = dist.BoundedPareto(r, cfg.TailAlpha, cfg.MeanSize, cfg.MaxSize)
-		} else {
-			s = dist.LognormalMean(r, cfg.MeanSize/2, cfg.Sigma)
-		}
-		if s > cfg.MaxSize {
-			s = cfg.MaxSize
-		}
-		if s < 1e-3 {
-			s = 1e-3
-		}
-		sizes[i] = s
-		sum += s
-	}
-	// Renormalize the mean (the paper normalizes the trace's job sizes).
-	scale := cfg.MeanSize / (sum / float64(cfg.Jobs))
-	for i := range sizes {
-		sizes[i] *= scale
-		if sizes[i] > cfg.MaxSize {
-			sizes[i] = cfg.MaxSize
-		}
-	}
-
-	// Poisson arrivals at the requested load.
-	meanInterval := cfg.MeanSize / (cfg.Load * cfg.Capacity)
-	arrivals, err := dist.NewPoissonProcess(r, meanInterval)
+	src, err := NewFacebookSource(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	specs := make([]fluid.JobSpec, cfg.Jobs)
-	for i := range specs {
-		specs[i] = fluid.JobSpec{
-			ID:       i + 1,
-			Arrival:  arrivals.Next(),
-			Size:     sizes[i],
-			Width:    widthFor(sizes[i], cfg.WidthTaskDuration, cfg.Capacity),
-			Priority: 1,
+	specs := make([]fluid.JobSpec, 0, cfg.Jobs)
+	for {
+		spec, ok, err := src.Next()
+		if err != nil {
+			return nil, err
 		}
+		if !ok {
+			return specs, nil
+		}
+		specs = append(specs, spec)
 	}
-	return specs, nil
+}
+
+// drawRawSize draws one raw (pre-renormalization) job size: lognormal body
+// with a bounded Pareto tail, clamped to [1e-3, MaxSize]. Both the
+// materialized and streaming generators call it, so a size draw consumes the
+// same RNG values on both paths.
+func drawRawSize(r *rand.Rand, cfg *FacebookConfig) float64 {
+	var s float64
+	if r.Float64() < cfg.TailFraction {
+		s = dist.BoundedPareto(r, cfg.TailAlpha, cfg.MeanSize, cfg.MaxSize)
+	} else {
+		s = dist.LognormalMean(r, cfg.MeanSize/2, cfg.Sigma)
+	}
+	if s > cfg.MaxSize {
+		s = cfg.MaxSize
+	}
+	if s < 1e-3 {
+		s = 1e-3
+	}
+	return s
 }
 
 func widthFor(size, taskDuration, capacity float64) float64 {
@@ -216,57 +203,17 @@ func WriteCSV(w io.Writer, specs []fluid.JobSpec) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV, materialized. It is a
+// compatibility wrapper over NewCSVSource, which streams records in chunks
+// instead of loading the whole file; the records (and per-line errors) are
+// the same, though a malformed record past an invalid one now surfaces the
+// first error in line order rather than the CSV-syntax error first.
 func ReadCSV(r io.Reader) ([]fluid.JobSpec, error) {
-	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	src, err := NewCSVSource(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
+		return nil, err
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("trace: empty csv")
-	}
-	header := records[0]
-	want := []string{"id", "arrival", "size", "width", "priority"}
-	if len(header) != len(want) {
-		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(want))
-	}
-	for i, col := range want {
-		if header[i] != col {
-			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
-		}
-	}
-	specs := make([]fluid.JobSpec, 0, len(records)-1)
-	for line, rec := range records[1:] {
-		id, err := strconv.Atoi(rec[0])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad id %q", line+2, rec[0])
-		}
-		arrival, err := strconv.ParseFloat(rec[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad arrival %q", line+2, rec[1])
-		}
-		size, err := strconv.ParseFloat(rec[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad size %q", line+2, rec[2])
-		}
-		width, err := strconv.ParseFloat(rec[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad width %q", line+2, rec[3])
-		}
-		priority, err := strconv.Atoi(rec[4])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad priority %q", line+2, rec[4])
-		}
-		spec := fluid.JobSpec{
-			ID: id, Arrival: arrival, Size: size, Width: width, Priority: priority,
-		}
-		if err := validateSpec(&spec); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line+2, err)
-		}
-		specs = append(specs, spec)
-	}
-	return specs, nil
+	return Collect(src)
 }
 
 // validateSpec rejects trace rows no simulator run could make sense of:
