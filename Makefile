@@ -2,19 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check lint build vet test test-race race bench bench-smoke bench-baseline bench-compare probe-gate crosscheck reproduce replicate examples clean
+.PHONY: all check lint layering build vet test test-race race bench bench-smoke bench-baseline bench-compare probe-gate crosscheck reproduce replicate examples clean
 
 all: build vet test
 
-# Full pre-merge gate: map-range lint, build, vet, tests, race detector,
-# one race-enabled iteration of the engine benchmarks (bench-smoke, so the
-# benchmark tier itself cannot rot or race silently), the telemetry
-# zero-overhead assertion (probe-gate), and the analytic M/M/1 cross-check
-# (crosscheck).
-check: lint build vet test test-race bench-smoke probe-gate crosscheck
+# Full pre-merge gate: map-range lint, import-layering gate, build, vet,
+# tests, race detector, one race-enabled iteration of the engine benchmarks
+# (bench-smoke, so the benchmark tier itself cannot rot or race silently),
+# the telemetry zero-overhead assertion (probe-gate), and the analytic M/M/1
+# cross-check (crosscheck).
+check: lint layering build vet test test-race bench-smoke probe-gate crosscheck
 
 # Policy/kernel packages whose float-bearing maps the lint watches.
-LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/yarn
+LINT_PKGS = internal/sched internal/core internal/mlq internal/substrate internal/engine internal/fluid internal/trace internal/yarn
 
 # Guard against the nondeterminism class PR 2 had to fix by hand: iterating
 # an unordered map (allocations, demands, rate bounds, attained-service
@@ -32,6 +32,19 @@ lint:
 		echo "$$bad"; exit 1; \
 	fi
 	@echo "lint: ok"
+
+# Layering gate: the canonical streaming Source/JobSpec live in
+# internal/substrate, and internal/trace aliases them from there. The trace
+# substrate must never import a simulator — that inversion (trace -> fluid)
+# is exactly what the substrate hoist removed, so keep it out for good.
+layering:
+	@bad=$$(grep -rn '"lasmq/internal/fluid"' internal/trace --include='*.go'; true); \
+	if [ -n "$$bad" ]; then \
+		echo "layering: internal/trace must not import internal/fluid" \
+			"(alias streaming types from internal/substrate instead):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "layering: ok"
 
 build:
 	$(GO) build ./...
@@ -72,16 +85,18 @@ bench_engine.out:
 	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRound$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale100k$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale1M$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
+	$(GO) test -run '^$$' -bench '^BenchmarkScale10M$$' -benchmem -benchtime=1x -timeout 60m . >> bench_engine.out
 
 # One race-enabled iteration of every benchmark in the repo, with the scale
-# tiers shrunk via LASMQ_SCALE_JOBS / LASMQ_SCALE1M_JOBS so the race
-# detector's ~10x slowdown stays tolerable. Part of `make check`: it
-# smoke-tests the benchmark code paths themselves (including Scale100k's
-# concurrent heap sampler and Scale1M's K=4 sharded worker pool, whose
-# cross-shard fan-out this is the race gate for) so they can't silently rot
-# between baseline refreshes.
+# tiers shrunk via LASMQ_SCALE_JOBS / LASMQ_SCALE1M_JOBS /
+# LASMQ_SCALE10M_JOBS so the race detector's ~10x slowdown stays tolerable.
+# Part of `make check`: it smoke-tests the benchmark code paths themselves
+# (including Scale100k's concurrent heap sampler and the K=4 sharded
+# work-stealing pools of Scale1M/Scale10M, whose cross-shard fan-out this is
+# the race gate for) so they can't silently rot between baseline refreshes.
 bench-smoke:
 	LASMQ_SCALE_JOBS=2000 LASMQ_SCALE1M_JOBS=8000 LASMQ_SCALE1M_SHARDS=4 \
+	LASMQ_SCALE10M_JOBS=8000 LASMQ_SCALE10M_SHARDS=4 \
 		$(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
 
 # Telemetry must be free when off: a scheduling round with a nil probe may

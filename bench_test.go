@@ -119,21 +119,26 @@ func BenchmarkFig7Heavy(b *testing.B) { benchTrace(b, experiments.Fig7HeavyTaile
 // LAS_MQ ~ FIFO ~ 5e7, FAIR ~ LAS ~ 1e8; scaled down here).
 func BenchmarkFig7Uniform(b *testing.B) { benchTrace(b, experiments.Fig7Uniform) }
 
-// BenchmarkScale100k runs the scale tier: the heavy-tailed trace at 100,000
-// jobs (~4x the paper's) under all four policies. Beyond ns/op and allocs, it
-// samples the heap during the run and reports the high-water mark as
-// peak-heap-bytes, so BENCH_engine.json tracks the memory envelope of the
-// ladder event queue and slab state at scale. LASMQ_SCALE_JOBS overrides the
-// trace length (the race-enabled `make bench-smoke` uses a small value).
-func BenchmarkScale100k(b *testing.B) {
-	opts := experiments.Options{Seed: 1, Repeats: 1}
-	if env := os.Getenv("LASMQ_SCALE_JOBS"); env != "" {
-		n, err := strconv.Atoi(env)
-		if err != nil || n <= 0 {
-			b.Fatalf("bad LASMQ_SCALE_JOBS %q", env)
-		}
-		opts.ScaleJobs = n
+// scaleEnvInt applies an optional positive-int env override to a scale knob.
+func scaleEnvInt(b *testing.B, key string, set func(int)) {
+	b.Helper()
+	env := os.Getenv(key)
+	if env == "" {
+		return
 	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		b.Fatalf("bad %s %q", key, env)
+	}
+	set(n)
+}
+
+// benchScaleTier runs one scale-tier experiment per iteration while a
+// background sampler reads the heap every 5ms, then reports the high-water
+// mark as peak-heap-bytes alongside the usual normalized-response metrics —
+// the two numbers BENCH_engine.json tracks for the scale tiers.
+func benchScaleTier(b *testing.B, opts experiments.Options, run func(experiments.Options) (*experiments.TraceResult, error)) {
+	b.Helper()
 	var peak uint64
 	var last *experiments.TraceResult
 	b.ReportAllocs()
@@ -157,7 +162,7 @@ func BenchmarkScale100k(b *testing.B) {
 				}
 			}
 		}()
-		res, err := experiments.Scale100k(opts)
+		res, err := run(opts)
 		close(stop)
 		if high := <-sampled; high > peak {
 			peak = high
@@ -173,6 +178,18 @@ func BenchmarkScale100k(b *testing.B) {
 	}
 }
 
+// BenchmarkScale100k runs the scale tier: the heavy-tailed trace at 100,000
+// jobs (~4x the paper's) under all four policies. Beyond ns/op and allocs, it
+// samples the heap during the run and reports the high-water mark as
+// peak-heap-bytes, so BENCH_engine.json tracks the memory envelope of the
+// ladder event queue and slab state at scale. LASMQ_SCALE_JOBS overrides the
+// trace length (the race-enabled `make bench-smoke` uses a small value).
+func BenchmarkScale100k(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	scaleEnvInt(b, "LASMQ_SCALE_JOBS", func(n int) { opts.ScaleJobs = n })
+	benchScaleTier(b, opts, experiments.Scale100k)
+}
+
 // BenchmarkScale1M runs the millions-of-jobs tier: the heavy-tailed trace
 // streamed at 1,000,000 jobs over 8 independent 20-container shards (load
 // 0.9 each) under all four policies. The trace is never materialized and
@@ -182,57 +199,24 @@ func BenchmarkScale100k(b *testing.B) {
 // `make bench-smoke` runs a small K=4 configuration).
 func BenchmarkScale1M(b *testing.B) {
 	opts := experiments.Options{Seed: 1, Repeats: 1}
-	if env := os.Getenv("LASMQ_SCALE1M_JOBS"); env != "" {
-		n, err := strconv.Atoi(env)
-		if err != nil || n <= 0 {
-			b.Fatalf("bad LASMQ_SCALE1M_JOBS %q", env)
-		}
-		opts.Scale1MJobs = n
-	}
-	if env := os.Getenv("LASMQ_SCALE1M_SHARDS"); env != "" {
-		n, err := strconv.Atoi(env)
-		if err != nil || n <= 0 {
-			b.Fatalf("bad LASMQ_SCALE1M_SHARDS %q", env)
-		}
-		opts.Shards = n
-	}
-	var peak uint64
-	var last *experiments.TraceResult
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		stop := make(chan struct{})
-		sampled := make(chan uint64, 1)
-		go func() {
-			var high uint64
-			var ms runtime.MemStats
-			for {
-				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > high {
-					high = ms.HeapAlloc
-				}
-				select {
-				case <-stop:
-					sampled <- high
-					return
-				case <-time.After(5 * time.Millisecond):
-				}
-			}
-		}()
-		res, err := experiments.Scale1M(opts)
-		close(stop)
-		if high := <-sampled; high > peak {
-			peak = high
-		}
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = res
-	}
-	b.ReportMetric(float64(peak), "peak-heap-bytes")
-	for _, name := range experiments.PolicyOrder {
-		b.ReportMetric(last.Normalized[name], "norm"+name)
-	}
+	scaleEnvInt(b, "LASMQ_SCALE1M_JOBS", func(n int) { opts.Scale1MJobs = n })
+	scaleEnvInt(b, "LASMQ_SCALE1M_SHARDS", func(n int) { opts.Shards = n })
+	benchScaleTier(b, opts, experiments.Scale1M)
+}
+
+// BenchmarkScale10M runs the ten-million-job tier: scale-1m's sharded
+// streaming machinery with the trace length turned up 10x. Because the trace
+// is generated on the fly and completed job records recycle through the free
+// list, peak-heap-bytes should stay in scale-1m's neighbourhood even though
+// the stream is an order of magnitude longer — the streaming contract this
+// benchmark pins in BENCH_engine.json. LASMQ_SCALE10M_JOBS and
+// LASMQ_SCALE10M_SHARDS override the scale (the race-enabled
+// `make bench-smoke` runs a small configuration).
+func BenchmarkScale10M(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	scaleEnvInt(b, "LASMQ_SCALE10M_JOBS", func(n int) { opts.Scale10MJobs = n })
+	scaleEnvInt(b, "LASMQ_SCALE10M_SHARDS", func(n int) { opts.Shards = n })
+	benchScaleTier(b, opts, experiments.Scale10M)
 }
 
 // BenchmarkFig8Queues regenerates Fig. 8a: the number-of-queues sweep

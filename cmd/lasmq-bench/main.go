@@ -7,17 +7,18 @@
 //
 //	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
 //	             table1|sjf-error|weights|adaptive|tradeoff|geo|
-//	             price-of-obliviousness|scale-100k|scale-1m]
+//	             price-of-obliviousness|scale-100k|scale-1m|scale-10m]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
-//	            [-scale-jobs N] [-scale1m-jobs N] [-shards K] [-shard-workers M]
+//	            [-scale-jobs N] [-scale1m-jobs N] [-scale10m-jobs N]
+//	            [-shards K] [-shard-workers M]
 //	            [-csv-dir DIR]
 //	            [-seeds N] [-workers M] [-cache DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-trace-out FILE] [-trace-format jsonl|chrome]
 //
-// scale-100k (100,000 jobs, materialized) and scale-1m (1,000,000 jobs,
-// streamed over -shards independent sub-clusters) are stress tiers, not paper
-// figures; "all" skips them in direct mode so reproduce-scale runs stay
+// scale-100k (100,000 jobs, materialized), scale-1m (1,000,000 jobs, streamed
+// over -shards independent sub-clusters) and scale-10m (10,000,000 jobs, the
+// same machinery 10x longer) are stress tiers, not paper figures; "all" skips them in direct mode so reproduce-scale runs stay
 // figure-shaped (select them explicitly, or run replicated mode, where the
 // registry includes them).
 //
@@ -63,23 +64,24 @@ func main() {
 
 func run() error {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k, scale-1m)")
-		seed        = flag.Int64("seed", 1, "workload/trace synthesis seed")
-		repeats     = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
-		traceJobs   = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
-		uniformJobs = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
-		scaleJobs   = flag.Int("scale-jobs", 0, "scale-100k stress trace length (default: 100000)")
-		scale1mJobs = flag.Int("scale1m-jobs", 0, "scale-1m streaming trace length (default: 1000000)")
-		shards      = flag.Int("shards", 0, "scale-1m cluster partitions; affects results (default: 8)")
-		shardWorker = flag.Int("shard-workers", 0, "concurrently advancing shards in scale-1m; never affects results (default: GOMAXPROCS)")
-		csvDirFlag  = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
-		seeds       = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
-		workers     = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
-		cacheDir    = flag.String("cache", "", "content-addressed result cache directory; re-runs serve completed (experiment, seed) cells from it")
-		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
-		traceOut    = flag.String("trace-out", "", "write a scheduler event trace of the selected experiments to this file (direct mode only)")
-		traceFormat = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats())
+		experiment   = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k, scale-1m, scale-10m)")
+		seed         = flag.Int64("seed", 1, "workload/trace synthesis seed")
+		repeats      = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
+		traceJobs    = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
+		uniformJobs  = flag.Int("uniform-jobs", 0, "uniform workload length (default: paper's 10000)")
+		scaleJobs    = flag.Int("scale-jobs", 0, "scale-100k stress trace length (default: 100000)")
+		scale1mJobs  = flag.Int("scale1m-jobs", 0, "scale-1m streaming trace length (default: 1000000)")
+		scale10mJobs = flag.Int("scale10m-jobs", 0, "scale-10m streaming trace length (default: 10000000)")
+		shards       = flag.Int("shards", 0, "scale-1m/scale-10m cluster partitions; affects results (default: 8)")
+		shardWorker  = flag.Int("shard-workers", 0, "concurrently advancing shards in the scale tiers; never affects results (default: GOMAXPROCS)")
+		csvDirFlag   = flag.String("csv-dir", "", "also write each experiment's plottable series as CSV files into this directory")
+		seeds        = flag.Int("seeds", 1, "replications per experiment; > 1 engages the parallel replication engine and reports mean ± 95% CI")
+		workers      = flag.Int("workers", 0, "worker-pool size for the replication engine (default GOMAXPROCS); setting it engages the engine")
+		cacheDir     = flag.String("cache", "", "content-addressed result cache directory; re-runs serve completed (experiment, seed) cells from it")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		traceOut     = flag.String("trace-out", "", "write a scheduler event trace of the selected experiments to this file (direct mode only)")
+		traceFormat  = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats())
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -124,6 +126,7 @@ func run() error {
 		UniformJobs:  *uniformJobs,
 		ScaleJobs:    *scaleJobs,
 		Scale1MJobs:  *scale1mJobs,
+		Scale10MJobs: *scale10mJobs,
 		Shards:       *shards,
 		ShardWorkers: *shardWorker,
 	}
@@ -172,6 +175,7 @@ func run() error {
 		"price-of-obliviousness": showPrice,
 		"scale-100k":             showScale100k,
 		"scale-1m":               showScale1M,
+		"scale-10m":              showScale10M,
 	}
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
@@ -407,6 +411,16 @@ func showScale1M(opts experiments.Options) error {
 	fmt.Println("== Scale tier: streamed heavy-tailed trace at 1,000,000 jobs, sharded ==")
 	fmt.Print(res.Table())
 	return writeCSV("scale-1m", res.WriteCSV)
+}
+
+func showScale10M(opts experiments.Options) error {
+	res, err := experiments.Scale10M(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Scale tier: streamed heavy-tailed trace at 10,000,000 jobs, sharded ==")
+	fmt.Print(res.Table())
+	return writeCSV("scale-10m", res.WriteCSV)
 }
 
 func showGeo(opts experiments.Options) error {

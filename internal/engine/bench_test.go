@@ -47,12 +47,15 @@ func newBenchSim(tb testing.TB, policy sched.Scheduler, probe obs.Probe) *sim {
 	cfg.FullReschedule = true
 	cfg.Probe = probe
 	s := newSim(benchSpecs(200), policy, cfg)
-	t, batch, ok := s.queue.popBatch(nil)
-	if !ok || t != 0 {
-		tb.Fatalf("expected an arrival batch at t=0, got t=%v ok=%v", t, ok)
+	if err := s.armArrivals(); err != nil {
+		tb.Fatal(err)
 	}
-	for _, ev := range batch {
-		s.handleArrival(ev.jobID)
+	t, batch, ok := s.queue.popBatch(nil)
+	if !ok || t != 0 || len(batch) != 1 || batch[0].kind != evArrivals {
+		tb.Fatalf("expected the arrivals sentinel at t=0, got t=%v ok=%v batch=%v", t, ok, batch)
+	}
+	if err := s.drainArrivals(t); err != nil {
+		tb.Fatal(err)
 	}
 	s.admit()
 	s.schedule()

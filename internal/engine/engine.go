@@ -171,13 +171,18 @@ func RunIsolated(spec job.Spec, policy sched.Scheduler, cfg Config) (float64, er
 
 // Event kinds inside the simulator.
 const (
-	evArrival = iota + 1
+	// evArrivals is the single pending-arrivals sentinel: at most one is in
+	// the queue at any time, scheduled at the arrival cursor's head time.
+	// Firing it drains every arrival due at that instant and re-arms the
+	// sentinel at the next head — so a run holds one arrival event instead
+	// of one per trace job, and equal-time arrivals still land in one batch
+	// exactly as the old per-job arrival events did.
+	evArrivals = iota + 1
 	evAttemptDone
 )
 
 type event struct {
 	kind    int
-	jobID   int
 	attempt int // attempt index for evAttemptDone
 }
 
@@ -195,7 +200,22 @@ type sim struct {
 	adm    *substrate.Queue[*jobState]
 	*arena
 
-	remaining  int // jobs not yet completed
+	// cur feeds the run loop its arrival stream: a substrate.SliceCursor
+	// over the arena's sorted pending list in a materialized run, a
+	// substrate.StreamCursor materializing pooled records from a Source in a
+	// streaming run. Both modes share run()'s event loop, so the operations
+	// (and their floating-point order) are identical.
+	cur          arrivalCursor
+	moreArrivals bool // the arrivals sentinel is armed (cursor not exhausted)
+
+	// Streaming-run extras: finish receives each job's result the moment it
+	// completes, pool recycles the per-job records (see releaseJob). Both
+	// are nil/false in materialized runs.
+	finish    func(*jobState, JobResult)
+	pool      *substrate.SlabPool[jobRecord]
+	streaming bool
+
+	remaining  int // arrived jobs not yet completed
 	usedSlots  int // containers currently occupied
 	readySlots int // containers needed by ready tasks of admitted jobs
 	now        float64
@@ -230,23 +250,22 @@ func newSim(specs []job.Spec, policy sched.Scheduler, cfg Config) *sim {
 	reused := cap(ar.jobs) > 0
 	ar.build(specs)
 	s := &sim{
-		cfg:       cfg,
-		probe:     cfg.Probe,
-		driver:    substrate.NewDriver(policy),
-		adm:       substrate.NewQueue[*jobState](cfg.MaxRunningJobs),
-		rng:       dist.New(cfg.Seed),
-		arena:     ar,
-		remaining: len(specs),
+		cfg:    cfg,
+		probe:  cfg.Probe,
+		driver: substrate.NewDriver(policy),
+		adm:    substrate.NewQueue[*jobState](cfg.MaxRunningJobs),
+		rng:    dist.New(cfg.Seed),
+		arena:  ar,
 	}
+	s.cur = &substrate.SliceCursor[jobState]{List: ar.pending, Arrival: jobStateArrival}
 	s.driver.SetProbe(cfg.Probe)
 	if s.probe != nil {
 		s.probe.ArenaReuse(len(specs), len(ar.tasks), reused)
 	}
-	for i := range specs {
-		s.push(specs[i].Arrival, event{kind: evArrival, jobID: specs[i].ID})
-	}
 	return s
 }
+
+func jobStateArrival(js *jobState) float64 { return js.spec.Arrival }
 
 // push enqueues a simulator event, reporting the one-time heap->ladder
 // migration to the probe when it happens inside this push.
@@ -272,7 +291,10 @@ func (s *sim) release() {
 }
 
 func (s *sim) run() error {
-	for s.remaining > 0 {
+	if err := s.armArrivals(); err != nil {
+		return err
+	}
+	for s.remaining > 0 || s.moreArrivals {
 		t, batch, ok := s.queue.popBatch(s.batchBuf)
 		s.batchBuf = batch
 		if !ok {
@@ -285,8 +307,10 @@ func (s *sim) run() error {
 		s.now = t
 		for _, ev := range batch {
 			switch ev.kind {
-			case evArrival:
-				s.handleArrival(ev.jobID)
+			case evArrivals:
+				if err := s.drainArrivals(t); err != nil {
+					return err
+				}
 			case evAttemptDone:
 				// Attempt endings change usage and progress aggregates, so any
 				// previously computed observation horizon is stale.
@@ -307,9 +331,54 @@ func (s *sim) run() error {
 	return nil
 }
 
-// sample records a timeline point if sampling is on and due.
+// armArrivals peeks the arrival cursor and, when arrivals remain, pushes the
+// pending-arrivals sentinel at the head arrival time.
+func (s *sim) armArrivals() error {
+	t, ok, err := s.cur.Peek()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		s.moreArrivals = false
+		return nil
+	}
+	s.moreArrivals = true
+	s.push(t, event{kind: evArrivals})
+	return nil
+}
+
+// drainArrivals consumes every arrival due at t — the sentinel's fire time,
+// which is the exact head-arrival float, so the equality test batches
+// precisely the arrivals the old per-job events would have batched — then
+// re-arms the sentinel at the next head arrival.
+func (s *sim) drainArrivals(t float64) error {
+	for {
+		a, ok, err := s.cur.Peek()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			s.moreArrivals = false
+			return nil
+		}
+		if a > t {
+			s.push(a, event{kind: evArrivals})
+			return nil
+		}
+		js := s.cur.Pop()
+		if s.streaming {
+			if _, dup := s.byID[js.spec.ID]; dup {
+				return fmt.Errorf("engine: duplicate live job ID %d in stream", js.spec.ID)
+			}
+		}
+		s.handleArrival(js)
+	}
+}
+
+// sample records a timeline point if sampling is on and due. Streaming runs
+// keep no timeline (StreamResult holds aggregates only), so they skip it.
 func (s *sim) sample() {
-	if s.cfg.SampleInterval <= 0 {
+	if s.cfg.SampleInterval <= 0 || s.streaming {
 		return
 	}
 	if len(s.timeline) > 0 && s.now < s.lastSample+s.cfg.SampleInterval {
@@ -324,12 +393,18 @@ func (s *sim) sample() {
 	})
 }
 
-func (s *sim) handleArrival(jobID int) {
-	js := s.byID[jobID]
+func (s *sim) handleArrival(js *jobState) {
+	if s.streaming {
+		// Streaming jobs join the live set on arrival: the materialized run
+		// indexed every job up front in build.
+		s.byID[js.spec.ID] = js
+		s.jobSeq = append(s.jobSeq, js)
+	}
+	s.remaining++
 	js.arrived = true
 	s.adm.Push(js)
 	if s.probe != nil {
-		s.probe.JobSubmitted(s.now, jobID)
+		s.probe.JobSubmitted(s.now, js.spec.ID)
 	}
 }
 
@@ -350,6 +425,7 @@ func (s *sim) admit() {
 
 func (s *sim) handleAttemptDone(attemptID int) {
 	a := &s.attempts[attemptID]
+	js := s.byID[a.jobID]
 	if !a.ended {
 		s.processAttemptDone(a)
 	}
@@ -359,6 +435,28 @@ func (s *sim) handleAttemptDone(attemptID int) {
 	if attemptRecycling {
 		s.freeAttempt(a)
 	}
+	// A streaming run recycles the job's pooled record once the job has
+	// completed and its last pending attempt event — possibly a killed
+	// copy's, long after completion — has fired.
+	js.pendingEvents--
+	if s.streaming && js.completed && js.pendingEvents == 0 {
+		s.releaseJob(js)
+	}
+}
+
+// releaseJob removes a completed job from the live set and returns its
+// record to the pool. The linear jobSeq removal preserves relative order;
+// the scan is cheap because the live set is bounded by in-flight jobs, not
+// trace length.
+func (s *sim) releaseJob(js *jobState) {
+	delete(s.byID, js.spec.ID)
+	for i, x := range s.jobSeq {
+		if x == js {
+			s.jobSeq = append(s.jobSeq[:i], s.jobSeq[i+1:]...)
+			break
+		}
+	}
+	s.pool.Put(js.rec)
 }
 
 // freeAttempt returns an ended attempt's slab slot to the free list.
@@ -492,6 +590,24 @@ func (s *sim) completeStage(js *jobState, idx int) {
 	if s.probe != nil {
 		s.probe.JobDone(s.now, js.spec.ID, s.now-js.spec.Arrival)
 	}
+	if s.finish != nil {
+		// Every field is final here: killed siblings were finalized
+		// synchronously when their tasks completed, and events that fire
+		// after this (ended copies draining) change no job counter.
+		s.finish(js, JobResult{
+			ID:           js.spec.ID,
+			Name:         js.spec.Name,
+			Bin:          js.spec.Bin,
+			Arrival:      js.spec.Arrival,
+			Admitted:     js.admittedAt,
+			Completed:    js.completedAt,
+			ResponseTime: js.completedAt - js.spec.Arrival,
+			Service:      js.finalizedService,
+			Attempts:     js.attempts,
+			Failures:     js.failures,
+			Speculative:  js.speculative,
+		})
+	}
 }
 
 // schedule runs one scheduling round: query the policy, quantize its shares
@@ -525,12 +641,11 @@ func (s *sim) schedule() {
 	// reservation, 1-container map tasks of lower-priority jobs would snatch
 	// every freed container and starve multi-container tasks indefinitely.
 	cands := s.cands[:0]
-	for _, id := range s.order {
-		js := s.byID[id]
+	for _, js := range s.jobSeq {
 		if !js.schedulable() {
 			continue
 		}
-		if t := targets[id]; t > js.usage {
+		if t := targets[js.spec.ID]; t > js.usage {
 			cands = append(cands, launchCand{js: js, target: t})
 		}
 	}
@@ -576,8 +691,7 @@ func (s *sim) schedule() {
 	progress := true
 	for progress && s.usedSlots+reserved < s.cfg.Containers {
 		progress = false
-		for _, id := range s.order {
-			js := s.byID[id]
+		for _, js := range s.jobSeq {
 			if !js.schedulable() {
 				continue
 			}
@@ -701,6 +815,7 @@ func (s *sim) launchAttempt(js *jobState, stage, taskIdx int, speculative bool) 
 		st.startInvDurSum += a.invDur * a.start
 	}
 	s.usedSlots += a.containers
+	js.pendingEvents++
 	s.push(s.now+runtime, event{kind: evAttemptDone, attempt: a.id})
 }
 
@@ -712,8 +827,7 @@ func (s *sim) speculate(reserved int) {
 		return
 	}
 	cands := s.specCands[:0]
-	for _, id := range s.order {
-		js := s.byID[id]
+	for _, js := range s.jobSeq {
 		if !js.schedulable() {
 			continue
 		}
@@ -764,18 +878,17 @@ func (s *sim) speculate(reserved int) {
 // per-job metric-rate bounds instead (withRates).
 func (s *sim) collectViews(withDemand, withRates bool) {
 	s.vs.Begin(withDemand, withRates)
-	for _, id := range s.order {
-		js := s.byID[id]
+	for _, js := range s.jobSeq {
 		if !js.schedulable() {
 			continue
 		}
 		js.view.now = s.now
 		s.vs.Add(&js.view)
 		if withDemand {
-			s.vs.SetDemand(id, js.readyDemand())
+			s.vs.SetDemand(js.spec.ID, js.readyDemand())
 		}
 		if withRates {
-			s.vs.SetRate(id, s.metricRateBound(js))
+			s.vs.SetRate(js.spec.ID, s.metricRateBound(js))
 		}
 	}
 }
@@ -794,8 +907,7 @@ func (s *sim) result() *Result {
 	if s.makespan > 0 {
 		res.Utilization = s.busyIntegral / (s.makespan * float64(s.cfg.Containers))
 	}
-	for _, id := range s.order {
-		js := s.byID[id]
+	for _, js := range s.jobSeq {
 		res.Jobs = append(res.Jobs, JobResult{
 			ID:           js.spec.ID,
 			Name:         js.spec.Name,

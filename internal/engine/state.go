@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"slices"
 	"sync"
 
 	"lasmq/internal/eventq"
@@ -142,6 +143,18 @@ type jobState struct {
 	attempts    int
 	failures    int
 	speculative int
+
+	// pendingEvents counts attempt-completion events still in the queue for
+	// this job (each launch pushes exactly one). A streaming run recycles the
+	// job's record only when the job has completed AND this reaches zero —
+	// killed copies' events still index into the job's task state when they
+	// fire, so the record must outlive them.
+	pendingEvents int
+
+	// rec points back to the streaming run's pooled record holding this
+	// state (nil in materialized runs, whose jobStates live in the arena
+	// slab).
+	rec *jobRecord
 
 	// view is the job's persistent sched.JobView adapter, re-stamped with the
 	// current time each round instead of allocated anew.
@@ -360,8 +373,18 @@ type arena struct {
 	// fires, the one moment no pending event references the slot.
 	freeAttempts []int
 
-	byID  map[int]*jobState // job ID -> slab entry (pointers are stable)
-	order []int             // job IDs in workload order (deterministic iteration)
+	byID map[int]*jobState // job ID -> live job state (pointers are stable)
+	// jobSeq is the deterministic iteration order of live job states:
+	// workload order in a materialized run (every job, for the whole run);
+	// arrival order in a streaming run (jobs join on arrival and leave when
+	// their record is recycled). When a streaming source is sorted by arrival
+	// — which RunStream requires — the two orders coincide, one of the
+	// ingredients of the Run/RunStream byte-identity.
+	jobSeq []*jobState
+	// pending is the materialized run's not-yet-arrived jobs, stable-sorted
+	// by arrival; the arrival cursor walks it (streaming runs pull from the
+	// source instead and leave it empty).
+	pending []*jobState
 
 	queue eventHeap
 	vs    substrate.ViewSet
@@ -409,7 +432,8 @@ func (a *arena) build(specs []job.Spec) {
 	} else {
 		clear(a.byID)
 	}
-	a.order = a.order[:0]
+	a.jobSeq = a.jobSeq[:0]
+	a.pending = a.pending[:0]
 	a.queue.reset()
 	a.timeline = a.timeline[:0]
 
@@ -422,39 +446,85 @@ func (a *arena) build(specs []job.Spec) {
 	for i := range specs {
 		spec := &specs[i]
 		js := &a.jobs[i]
-		js.spec = spec
-		js.view.js = js
 		ns := len(spec.Stages)
-		js.stages = a.stages[stageOff : stageOff+ns : stageOff+ns]
-		stageOff += ns
-		js.activeStages = carve(ns)
+		nt := 0
 		for si := range spec.Stages {
-			st := &js.stages[si]
-			st.spec = &spec.Stages[si]
-			nt := len(st.spec.Tasks)
-			st.tasks = a.tasks[taskOff : taskOff+nt : taskOff+nt]
-			taskOff += nt
-			for ti := range st.spec.Tasks {
-				task := &st.tasks[ti]
-				task.spec = st.spec.Tasks[ti]
-				task.attemptIDs = carve(1)
-				st.totalContainers += task.spec.Containers
-			}
-			st.readyIdx = carve(nt)
-			for _, dep := range spec.Deps(si) {
-				st.remainingDeps++
-				js.stages[dep].dependents = append(js.stages[dep].dependents, si)
-			}
+			nt += len(spec.Stages[si].Tasks)
 		}
-		// Root stages (no dependencies) are ready once the job is admitted.
-		for si := range js.stages {
-			if js.stages[si].remainingDeps == 0 {
-				js.activateStage(si)
-			}
-		}
+		stages := a.stages[stageOff : stageOff+ns : stageOff+ns]
+		stageOff += ns
+		tasks := a.tasks[taskOff : taskOff+nt : taskOff+nt]
+		taskOff += nt
+		buildJobState(js, spec, stages, tasks, carve)
 		a.byID[spec.ID] = js
-		a.order = append(a.order, spec.ID)
+		a.jobSeq = append(a.jobSeq, js)
+		a.pending = append(a.pending, js)
 	}
+	slices.SortStableFunc(a.pending, func(x, y *jobState) int {
+		if x.spec.Arrival < y.spec.Arrival {
+			return -1
+		}
+		if x.spec.Arrival > y.spec.Arrival {
+			return 1
+		}
+		return 0
+	})
+}
+
+// buildJobState wires one job's runtime state over caller-provided storage:
+// stages and tasks are exact-capacity zeroed slices for this job's
+// stage/task records, and carve hands out zero-length capacity-pinned int
+// slices for the index lists (activeStages needs ns, each task's attemptIDs
+// 1, each stage's readyIdx its task count — ns+2·nt in total). Shared by
+// the materialized arena layout and the streaming per-job pooled records.
+func buildJobState(js *jobState, spec *job.Spec, stages []stageState, tasks []taskState, carve func(int) []int) {
+	js.spec = spec
+	js.view.js = js
+	js.stages = stages
+	js.activeStages = carve(len(spec.Stages))
+	taskOff := 0
+	for si := range spec.Stages {
+		st := &js.stages[si]
+		st.spec = &spec.Stages[si]
+		nt := len(st.spec.Tasks)
+		st.tasks = tasks[taskOff : taskOff+nt : taskOff+nt]
+		taskOff += nt
+		for ti := range st.spec.Tasks {
+			task := &st.tasks[ti]
+			task.spec = st.spec.Tasks[ti]
+			task.attemptIDs = carve(1)
+			st.totalContainers += task.spec.Containers
+		}
+		st.readyIdx = carve(nt)
+		for _, dep := range spec.Deps(si) {
+			st.remainingDeps++
+			js.stages[dep].dependents = append(js.stages[dep].dependents, si)
+		}
+	}
+	// Root stages (no dependencies) are ready once the job is admitted.
+	for si := range js.stages {
+		if js.stages[si].remainingDeps == 0 {
+			js.activateStage(si)
+		}
+	}
+}
+
+// buildStream resets the arena for a streaming run: job records come from
+// the run's free-list pool rather than the jobs/stages/tasks slabs, so only
+// the live-job index, the pointer lists, the event queue and the scratch are
+// prepared (with backing storage kept, as in build).
+func (a *arena) buildStream() {
+	a.attempts = a.attempts[:0]
+	a.freeAttempts = a.freeAttempts[:0]
+	if a.byID == nil {
+		a.byID = make(map[int]*jobState, 64)
+	} else {
+		clear(a.byID)
+	}
+	a.jobSeq = a.jobSeq[:0]
+	a.pending = a.pending[:0]
+	a.queue.reset()
+	a.timeline = a.timeline[:0]
 }
 
 // scrub zeroes the slabs that hold references into caller-owned memory (the
@@ -465,6 +535,10 @@ func (a *arena) scrub() {
 	clear(a.stages)
 	clear(a.tasks)
 	clear(a.byID)
+	clear(a.jobSeq)
+	a.jobSeq = a.jobSeq[:0]
+	clear(a.pending)
+	a.pending = a.pending[:0]
 	a.queue.reset()
 	a.vs.Reset()
 }

@@ -49,6 +49,12 @@ type Options struct {
 	// 1,000,000). The trace is never materialized: each shard streams its
 	// stride of a per-seed deterministic generator.
 	Scale1MJobs int
+	// Scale10MJobs overrides the scale-10m streaming trace length (default:
+	// 10,000,000). scale-10m is scale-1m with the length knob turned up: same
+	// sharded streaming machinery, an order of magnitude more jobs, and —
+	// because peak heap tracks live jobs, not trace length — roughly the same
+	// memory footprint (BenchmarkScale10M records both in BENCH_engine.json).
+	Scale10MJobs int
 	// Shards partitions the scale-1m cluster into this many independent
 	// 20-container sub-clusters (default 8). Part of the simulated system —
 	// it changes results and is folded into the cache fingerprint.
@@ -88,6 +94,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.Scale1MJobs <= 0 {
 		o.Scale1MJobs = 1000000
+	}
+	if o.Scale10MJobs <= 0 {
+		o.Scale10MJobs = 10000000
 	}
 	if o.Shards <= 0 {
 		o.Shards = 8

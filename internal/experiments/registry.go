@@ -20,8 +20,8 @@ func Registry(opts Options) []runner.Experiment {
 	opts = opts.Defaults()
 	// ShardWorkers is execution parallelism only (results are identical for
 	// any value), so it is deliberately absent from the fingerprint.
-	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,scale-jobs=%d,scale1m-jobs=%d,shards=%d,full-resched=%t",
-		opts.TraceJobs, opts.UniformJobs, opts.ScaleJobs, opts.Scale1MJobs, opts.Shards, opts.FullReschedule)
+	fp := fmt.Sprintf("trace-jobs=%d,uniform-jobs=%d,scale-jobs=%d,scale1m-jobs=%d,scale10m-jobs=%d,shards=%d,full-resched=%t",
+		opts.TraceJobs, opts.UniformJobs, opts.ScaleJobs, opts.Scale1MJobs, opts.Scale10MJobs, opts.Shards, opts.FullReschedule)
 	perSeed := func(seed int64) Options {
 		o := opts
 		o.Seed = seed
@@ -221,6 +221,13 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			return traceCells(res), nil
 		}),
+		exp("scale-10m", func(seed int64) ([]runner.Cell, error) {
+			res, err := Scale10M(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
 	}
 }
 
@@ -262,7 +269,7 @@ func RegistryNames() []string {
 	return []string{
 		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
 		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
-		"price-of-obliviousness", "scale-100k", "scale-1m",
+		"price-of-obliviousness", "scale-100k", "scale-1m", "scale-10m",
 	}
 }
 

@@ -86,8 +86,27 @@ func Scale100k(opts Options) (*TraceResult, error) {
 // records runtime and peak heap in BENCH_engine.json.
 func Scale1M(opts Options) (*TraceResult, error) {
 	opts = opts.Defaults()
+	return scaleStreamed(opts, opts.Scale1MJobs, "scale-1m")
+}
+
+// Scale10M is scale-1m with the trace length turned up to ten million jobs
+// (default): a pure config knob over the same sharded streaming machinery.
+// It exists as its own tier because it is the first one where materializing
+// the trace would dominate the footprint — the streaming contract (peak heap
+// tracks live jobs, not trace length) is what makes it affordable, and
+// BenchmarkScale10M pins that by recording runtime and peak heap in
+// BENCH_engine.json alongside scale-1m's.
+func Scale10M(opts Options) (*TraceResult, error) {
+	opts = opts.Defaults()
+	return scaleStreamed(opts, opts.Scale10MJobs, "scale-10m")
+}
+
+// scaleStreamed runs one streamed-and-sharded scale tier: jobs total jobs
+// across opts.Shards independent 20-container sub-clusters, each at load 0.9,
+// every shard pulling its stride of a per-seed deterministic generator.
+func scaleStreamed(opts Options, jobs int, label string) (*TraceResult, error) {
 	tcfg := trace.DefaultFacebookConfig()
-	tcfg.Jobs = opts.Scale1MJobs
+	tcfg.Jobs = jobs
 	tcfg.Seed = opts.Seed
 	// Global capacity scales with the shard count so every sub-cluster is
 	// the Fig. 7a system: 20 containers at load 0.9.
@@ -114,7 +133,7 @@ func Scale1M(opts Options) (*TraceResult, error) {
 		newPol := func() (sched.Scheduler, error) { return newPolicy(name, traceLASMQ) }
 		run, err := fluid.RunSharded(newSource, newPol, scfg)
 		if err != nil {
-			return nil, fmt.Errorf("scale-1m %s: %w", name, err)
+			return nil, fmt.Errorf("%s %s: %w", label, name, err)
 		}
 		res.Mean[name] = run.MeanResponseTime()
 	}

@@ -175,6 +175,49 @@ func TestShardedWorkerCountDoesNotAffectResults(t *testing.T) {
 	}
 }
 
+// TestShardedImbalancedWorkStealing pins the Workers contract on the
+// work-stealing pool when shard loads are wildly uneven: shard 0 carries
+// ~90% of the trace while the other seven split the rest, so workers that
+// finish light shards go idle early and claim the queued ones off the
+// shared counter. Worker count (and hence claim order) must still never
+// affect results.
+func TestShardedImbalancedWorkStealing(t *testing.T) {
+	specs, _ := diffTrace(t, 5)
+	const shards = 8
+	parts := make([][]fluid.JobSpec, shards)
+	for i, s := range specs {
+		shard := 0
+		if i%10 == 0 {
+			shard = 1 + (i/10)%(shards-1)
+		}
+		parts[shard] = append(parts[shard], s)
+	}
+	newSource := func(shard int) (fluid.Source, error) {
+		return fluid.SliceSource(parts[shard]), nil
+	}
+	fcfg := fluid.DefaultConfig()
+	fcfg.Capacity = 20 * shards
+	for name, newPolicy := range diffPolicies(t) {
+		t.Run(name, func(t *testing.T) {
+			var runs []*fluid.StreamResult
+			for _, workers := range []int{1, 3, 8} {
+				scfg := fluid.ShardedConfig{Config: fcfg, Shards: shards, Workers: workers}
+				res, err := fluid.RunSharded(newSource, newPolicy, scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, res)
+			}
+			for i := 1; i < len(runs); i++ {
+				if !reflect.DeepEqual(runs[0], runs[i]) {
+					t.Fatalf("worker count changed results under imbalance:\nworkers=1: %+v\nother: %+v",
+						runs[0], runs[i])
+				}
+			}
+		})
+	}
+}
+
 // TestRunStreamRejectsUnsortedSource pins the streaming contract: an
 // out-of-order arrival is an error, not a silent misordering.
 func TestRunStreamRejectsUnsortedSource(t *testing.T) {

@@ -24,22 +24,9 @@ import (
 	"lasmq/internal/substrate"
 )
 
-// JobSpec describes one trace job.
-type JobSpec struct {
-	// ID uniquely identifies the job within a trace.
-	ID int
-	// Arrival is the submission time.
-	Arrival float64
-	// Size is the total service demand in container-time units (the paper
-	// normalizes Facebook job sizes to a mean of roughly 20).
-	Size float64
-	// Width is the job's maximum parallelism in containers (>= 1).
-	Width float64
-	// Priority in [1,5]; used by the Fair baseline.
-	Priority int
-	// SizeHint is the a priori estimate for SJF/SRTF; zero means exact.
-	SizeHint float64
-}
+// JobSpec describes one trace job — an alias of the substrate streaming
+// kernel's canonical spec type (see substrate.JobSpec for the field docs).
+type JobSpec = substrate.JobSpec
 
 // Config parameterizes a fluid run.
 type Config struct {
@@ -281,36 +268,17 @@ func (a *arena) scrub() {
 	a.vs.Reset()
 }
 
-// arrivalCursor feeds the run loop its arrival stream: peek reports the next
-// arrival time (or that the stream is exhausted, or a source error), and pop
-// consumes the peeked job. Run walks the arena's pre-sorted pending list;
-// RunStream pulls specs from a Source and materializes job records from a
-// free-list pool on demand, so both share one event loop — the operations
+// arrivalCursor feeds the run loop its arrival stream: Peek reports the next
+// arrival time (or that the stream is exhausted, or a source error), and Pop
+// consumes the peeked job. Run walks the arena's pre-sorted pending list
+// (substrate.SliceCursor); RunStream pulls specs from a Source and
+// materializes job records from a free-list pool on demand
+// (substrate.StreamCursor), so both share one event loop — the operations
 // (and their floating-point order) are identical, which is what makes the
 // streaming-versus-materialized differential byte-exact.
-type arrivalCursor interface {
-	peek() (arrival float64, ok bool, err error)
-	pop() *fluidJob
-}
+type arrivalCursor = substrate.Cursor[fluidJob]
 
-// pendingCursor walks a materialized run's sorted pending list.
-type pendingCursor struct {
-	list []*fluidJob
-	i    int
-}
-
-func (c *pendingCursor) peek() (float64, bool, error) {
-	if c.i >= len(c.list) {
-		return 0, false, nil
-	}
-	return c.list[c.i].spec.Arrival, true, nil
-}
-
-func (c *pendingCursor) pop() *fluidJob {
-	j := c.list[c.i]
-	c.i++
-	return j
-}
+func fluidJobArrival(j *fluidJob) float64 { return j.spec.Arrival }
 
 // sim is one fluid run: the kernel modules (policy driver, admission queue,
 // view registry) plus the fluid-specific state — continuous time, fractional
@@ -345,7 +313,7 @@ func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
 		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
 		arena:  ar,
 	}
-	s.cur = &pendingCursor{list: ar.pending}
+	s.cur = &substrate.SliceCursor[fluidJob]{List: ar.pending, Arrival: fluidJobArrival}
 	s.finish = func(j *fluidJob, jr JobResult) { s.results[j.spec.ID] = jr }
 	s.driver.SetProbe(cfg.Probe)
 	if s.probe != nil {
@@ -380,14 +348,14 @@ func (s *sim) run() error {
 	for {
 		// Admit arrivals due by now.
 		for {
-			t, ok, err := s.cur.peek()
+			t, ok, err := s.cur.Peek()
 			if err != nil {
 				return err
 			}
 			if !ok || t > s.now+1e-12 {
 				break
 			}
-			j := s.cur.pop()
+			j := s.cur.Pop()
 			s.adm.Push(j)
 			if s.probe != nil {
 				s.probe.JobSubmitted(s.now, j.spec.ID)
@@ -397,7 +365,7 @@ func (s *sim) run() error {
 
 		if len(s.active) == 0 {
 			// Idle: jump to the next arrival.
-			t, ok, err := s.cur.peek()
+			t, ok, err := s.cur.Peek()
 			if err != nil {
 				return err
 			}
@@ -433,7 +401,7 @@ func (s *sim) run() error {
 
 		// Next event: arrival, earliest completion, policy horizon, step cap.
 		next := math.Inf(1)
-		if t, ok, err := s.cur.peek(); err != nil {
+		if t, ok, err := s.cur.Peek(); err != nil {
 			return err
 		} else if ok {
 			next = t

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lasmq/internal/sched"
 )
@@ -99,23 +100,29 @@ func RunSharded(newSource func(shard int) (Source, error), newPolicy func() (sch
 			runShard(shard)
 		}
 	} else {
-		// Worker pool in the runner's style: workers write disjoint slots of
-		// the results grid, so the pool size cannot affect the outcome.
-		work := make(chan int)
+		// Work-stealing pool: every worker claims the next unstarted shard
+		// off a shared atomic counter the moment it goes idle, so a worker
+		// that drew light shards keeps pulling work while a heavy shard is
+		// still running — no dispatcher goroutine, no fixed assignment.
+		// Which worker runs a shard remains execution-only: workers write
+		// disjoint slots of the results grid and the fold below is in
+		// shard-index order, so the pool size (and the claim order) cannot
+		// affect the outcome.
+		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for shard := range work {
+				for {
+					shard := int(next.Add(1)) - 1
+					if shard >= cfg.Shards {
+						return
+					}
 					runShard(shard)
 				}
 			}()
 		}
-		for shard := 0; shard < cfg.Shards; shard++ {
-			work <- shard
-		}
-		close(work)
 		wg.Wait()
 	}
 

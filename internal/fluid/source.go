@@ -1,37 +1,24 @@
 // Streaming trace substrate: a Source yields job specs one at a time, so a
 // run's memory tracks the jobs that are live at once instead of the trace
-// length. The interface lives here (not in internal/trace) because trace
-// imports fluid for the JobSpec type; trace re-exports it as trace.Source.
+// length. The canonical contract lives in internal/substrate's streaming
+// kernel (so internal/trace depends on substrate, not on a simulator); this
+// file re-exports it under the names fluid call sites have always used.
 package fluid
 
-// Source streams the jobs of a trace in nondecreasing arrival order. Next
-// returns the next spec and true, or a zero spec and false once the trace is
-// exhausted; an error aborts the consuming run. Implementations must be
-// deterministic: two sources built from the same inputs (same seed, same
-// bytes) must yield identical sequences, the property the streaming-versus-
-// materialized differential tests pin.
-type Source interface {
-	Next() (JobSpec, bool, error)
-}
+import "lasmq/internal/substrate"
 
-// sliceSource adapts a materialized trace to the Source interface.
-type sliceSource struct {
-	specs []JobSpec
-	i     int
-}
+// Source streams the jobs of a trace in nondecreasing arrival order — an
+// alias of the substrate kernel's canonical Source. Next returns the next
+// spec and true, or a zero spec and false once the trace is exhausted; an
+// error aborts the consuming run. Implementations must be deterministic: two
+// sources built from the same inputs (same seed, same bytes) must yield
+// identical sequences, the property the streaming-versus-materialized
+// differential tests pin.
+type Source = substrate.Source
 
 // SliceSource returns a Source that replays an in-memory trace in slice
 // order (the caller must have sorted it by arrival, as trace generators do).
-func SliceSource(specs []JobSpec) Source { return &sliceSource{specs: specs} }
-
-func (s *sliceSource) Next() (JobSpec, bool, error) {
-	if s.i >= len(s.specs) {
-		return JobSpec{}, false, nil
-	}
-	spec := s.specs[s.i]
-	s.i++
-	return spec, true, nil
-}
+func SliceSource(specs []JobSpec) Source { return substrate.SliceStream(specs) }
 
 // Strided filters a source down to one shard's jobs: of the stream's items
 // (0-indexed), it yields those whose index is congruent to offset modulo
@@ -40,25 +27,5 @@ func (s *sliceSource) Next() (JobSpec, bool, error) {
 // every stride-th item — so shards never contend on a shared reader and a
 // bounded worker pool cannot deadlock on a demultiplexed stream.
 func Strided(src Source, offset, stride int) Source {
-	return &stridedSource{src: src, offset: offset, stride: stride}
-}
-
-type stridedSource struct {
-	src            Source
-	offset, stride int
-	i              int
-}
-
-func (s *stridedSource) Next() (JobSpec, bool, error) {
-	for {
-		spec, ok, err := s.src.Next()
-		if !ok || err != nil {
-			return JobSpec{}, false, err
-		}
-		mine := s.i%s.stride == s.offset
-		s.i++
-		if mine {
-			return spec, true, nil
-		}
-	}
+	return substrate.Strided(src, offset, stride)
 }

@@ -57,54 +57,12 @@ func (r *StreamResult) MeanSlowdown() float64 {
 	return r.SumSlowdown / float64(r.Jobs)
 }
 
-// sourceCursor adapts a Source to the run loop's arrival cursor: peek reads
-// one spec ahead (validating it), pop materializes the job record from the
-// free-list pool. Completed records return to the pool, so the run's job
-// state is bounded by the peak number of live jobs.
-type sourceCursor struct {
-	src          Source
-	pool         *substrate.SlabPool[fluidJob]
-	taskDuration float64
-
-	spec JobSpec
-	have bool
-	done bool
-	err  error
-	last float64 // last yielded arrival, for the nondecreasing check
-	n    int     // specs yielded, for error positions
-}
-
-func (c *sourceCursor) peek() (float64, bool, error) {
-	if c.err != nil {
-		return 0, false, c.err
-	}
-	if c.have {
-		return c.spec.Arrival, true, nil
-	}
-	if c.done {
-		return 0, false, nil
-	}
-	spec, ok, err := c.src.Next()
-	if err != nil {
-		c.err = fmt.Errorf("fluid: source: %w", err)
-		return 0, false, c.err
-	}
-	if !ok {
-		c.done = true
-		return 0, false, nil
-	}
-	if err := c.validate(&spec); err != nil {
-		c.err = err
-		return 0, false, c.err
-	}
-	c.n++
-	c.last = spec.Arrival
-	c.spec = spec
-	c.have = true
-	return spec.Arrival, true, nil
-}
-
-func (c *sourceCursor) validate(s *JobSpec) error {
+// validateStreamSpec checks one streamed spec before the run admits it: the
+// same per-spec checks Run applies up front, plus the nondecreasing-order
+// contract a streaming run must enforce on the fly (prev is the previously
+// yielded arrival, meaningful when n > 0). Wired into the substrate kernel's
+// StreamCursor as its Validate hook.
+func validateStreamSpec(n int, prev float64, s *JobSpec) error {
 	if s.Size <= 0 {
 		return fmt.Errorf("fluid: job %d has non-positive size %v", s.ID, s.Size)
 	}
@@ -114,20 +72,30 @@ func (c *sourceCursor) validate(s *JobSpec) error {
 	if s.Arrival < 0 {
 		return fmt.Errorf("fluid: job %d has negative arrival %v", s.ID, s.Arrival)
 	}
-	if c.n > 0 && s.Arrival < c.last {
+	if n > 0 && s.Arrival < prev {
 		return fmt.Errorf("fluid: source not sorted: job %d arrives at %v after %v",
-			s.ID, s.Arrival, c.last)
+			s.ID, s.Arrival, prev)
 	}
 	return nil
 }
 
-func (c *sourceCursor) pop() *fluidJob {
-	j := c.pool.Get()
-	j.spec = c.spec
-	j.view.j = j
-	j.view.taskDuration = c.taskDuration
-	c.have = false
-	return j
+// sourceCursor instantiates the substrate kernel's StreamCursor for fluid:
+// Peek reads one spec ahead (validating it), Pop materializes the job record
+// from the free-list pool. Completed records return to the pool, so the
+// run's job state is bounded by the peak number of live jobs.
+func sourceCursor(src Source, pool *substrate.SlabPool[fluidJob], taskDuration float64) arrivalCursor {
+	return &substrate.StreamCursor[JobSpec, fluidJob]{
+		Src:      src,
+		Pool:     pool,
+		Arrival:  func(s *JobSpec) float64 { return s.Arrival },
+		Validate: validateStreamSpec,
+		Wrap:     func(err error) error { return fmt.Errorf("fluid: source: %w", err) },
+		Fill: func(j *fluidJob, spec *JobSpec) {
+			j.spec = *spec
+			j.view.j = j
+			j.view.taskDuration = taskDuration
+		},
+	}
 }
 
 // RunStream simulates a streamed trace under the given policy. The source
@@ -158,7 +126,7 @@ func RunStream(src Source, policy sched.Scheduler, cfg Config, each func(JobResu
 		driver: substrate.NewDriver(policy),
 		adm:    substrate.NewQueue[*fluidJob](cfg.MaxRunningJobs),
 		arena:  ar,
-		cur:    &sourceCursor{src: src, pool: &pool, taskDuration: cfg.TaskDuration},
+		cur:    sourceCursor(src, &pool, cfg.TaskDuration),
 	}
 	s.finish = func(j *fluidJob, jr JobResult) {
 		out.Jobs++

@@ -10,6 +10,14 @@ package substrate
 // trace length. Like the rest of the kernel it is single-loop state: not
 // safe for concurrent use.
 type SlabPool[T any] struct {
+	// Reset, when non-nil, replaces the default zero-on-Get recycling: it
+	// runs on each record as it is Put back, and must leave the record
+	// equivalent to the zero value for the pool's users while retaining any
+	// reusable backing capacity (slices trimmed to length 0, not nil).
+	// Running at Put time means a parked record never pins memory beyond
+	// what its Reset deliberately keeps.
+	Reset func(*T)
+
 	chunks [][]T
 	free   []*T
 	next   int // carve index into the newest chunk
@@ -39,8 +47,10 @@ func (p *SlabPool[T]) Get() *T {
 		x := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
-		var zero T
-		*x = zero
+		if p.Reset == nil {
+			var zero T
+			*x = zero
+		}
 		p.stats.Recycled++
 		return x
 	}
@@ -54,9 +64,13 @@ func (p *SlabPool[T]) Get() *T {
 }
 
 // Put returns a record to the pool for recycling. The caller must not use it
-// afterwards; the record is zeroed on its next Get.
+// afterwards; the record is zeroed on its next Get, or — when Reset is set —
+// reset immediately here.
 func (p *SlabPool[T]) Put(x *T) {
 	p.stats.Live--
+	if p.Reset != nil {
+		p.Reset(x)
+	}
 	p.free = append(p.free, x)
 }
 

@@ -7,8 +7,6 @@ import (
 	"strings"
 	"testing"
 	"testing/iotest"
-
-	"lasmq/internal/fluid"
 )
 
 // FuzzReadCSV ensures the trace parser never panics on arbitrary input, that
@@ -43,7 +41,7 @@ func FuzzReadCSV(f *testing.F) {
 		// The streaming reader must agree with the materialized parse under
 		// one-byte reads (every chunk boundary lands inside a record):
 		// identical specs on success, an error whenever ReadCSV errors.
-		chunked, chunkedErr := func() ([]fluid.JobSpec, error) {
+		chunked, chunkedErr := func() ([]JobSpec, error) {
 			src, serr := NewCSVSource(iotest.OneByteReader(strings.NewReader(input)))
 			if serr != nil {
 				return nil, serr

@@ -8,19 +8,23 @@ import (
 	"strconv"
 
 	"lasmq/internal/dist"
-	"lasmq/internal/fluid"
+	"lasmq/internal/substrate"
 )
 
-// Source is the streaming trace interface (an alias of fluid.Source, which
-// owns the type because this package imports fluid for JobSpec): Next yields
-// one job at a time in arrival order, so consumers' memory is bounded by
-// live jobs rather than trace length.
-type Source = fluid.Source
+// JobSpec is the flat trace job record — an alias of the substrate streaming
+// kernel's canonical spec type (which fluid.JobSpec also aliases, so traces
+// feed the simulators without this package importing one).
+type JobSpec = substrate.JobSpec
+
+// Source is the streaming trace interface (an alias of the substrate
+// kernel's Source): Next yields one job at a time in arrival order, so
+// consumers' memory is bounded by live jobs rather than trace length.
+type Source = substrate.Source
 
 // Collect drains a source into a materialized trace — the compatibility
 // bridge from the streaming substrate back to the slice-based APIs.
-func Collect(src Source) ([]fluid.JobSpec, error) {
-	specs := make([]fluid.JobSpec, 0, 64)
+func Collect(src Source) ([]JobSpec, error) {
+	specs := make([]JobSpec, 0, 64)
 	for {
 		spec, ok, err := src.Next()
 		if err != nil {
@@ -73,16 +77,16 @@ func NewFacebookSource(cfg FacebookConfig) (Source, error) {
 	}, nil
 }
 
-func (s *facebookSource) Next() (fluid.JobSpec, bool, error) {
+func (s *facebookSource) Next() (JobSpec, bool, error) {
 	if s.i >= s.cfg.Jobs {
-		return fluid.JobSpec{}, false, nil
+		return JobSpec{}, false, nil
 	}
 	size := drawRawSize(s.resize, &s.cfg) * s.scale
 	if size > s.cfg.MaxSize {
 		size = s.cfg.MaxSize
 	}
 	s.i++
-	return fluid.JobSpec{
+	return JobSpec{
 		ID:       s.i,
 		Arrival:  s.arrivals.Next(),
 		Size:     size,
@@ -123,45 +127,45 @@ func NewCSVSource(r io.Reader) (Source, error) {
 	return &csvSource{cr: cr, line: 1}, nil
 }
 
-func (s *csvSource) Next() (fluid.JobSpec, bool, error) {
+func (s *csvSource) Next() (JobSpec, bool, error) {
 	if s.done {
-		return fluid.JobSpec{}, false, nil
+		return JobSpec{}, false, nil
 	}
 	rec, err := s.cr.Read()
 	if err == io.EOF {
 		s.done = true
-		return fluid.JobSpec{}, false, nil
+		return JobSpec{}, false, nil
 	}
 	if err != nil {
 		s.done = true
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: read csv: %w", err)
+		return JobSpec{}, false, fmt.Errorf("trace: read csv: %w", err)
 	}
 	s.line++
 	id, err := strconv.Atoi(rec[0])
 	if err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: bad id %q", s.line, rec[0])
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: bad id %q", s.line, rec[0])
 	}
 	arrival, err := strconv.ParseFloat(rec[1], 64)
 	if err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: bad arrival %q", s.line, rec[1])
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: bad arrival %q", s.line, rec[1])
 	}
 	size, err := strconv.ParseFloat(rec[2], 64)
 	if err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: bad size %q", s.line, rec[2])
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: bad size %q", s.line, rec[2])
 	}
 	width, err := strconv.ParseFloat(rec[3], 64)
 	if err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: bad width %q", s.line, rec[3])
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: bad width %q", s.line, rec[3])
 	}
 	priority, err := strconv.Atoi(rec[4])
 	if err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: bad priority %q", s.line, rec[4])
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: bad priority %q", s.line, rec[4])
 	}
-	spec := fluid.JobSpec{
+	spec := JobSpec{
 		ID: id, Arrival: arrival, Size: size, Width: width, Priority: priority,
 	}
 	if err := validateSpec(&spec); err != nil {
-		return fluid.JobSpec{}, false, fmt.Errorf("trace: line %d: %w", s.line, err)
+		return JobSpec{}, false, fmt.Errorf("trace: line %d: %w", s.line, err)
 	}
 	return spec, true, nil
 }

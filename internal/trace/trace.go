@@ -21,7 +21,6 @@ import (
 	"strconv"
 
 	"lasmq/internal/dist"
-	"lasmq/internal/fluid"
 )
 
 // FacebookConfig controls synthesis of the heavy-tailed trace.
@@ -103,12 +102,12 @@ func (c *FacebookConfig) validate() error {
 // Facebook synthesizes the heavy-tailed trace, materialized. It is a
 // compatibility wrapper over NewFacebookSource and yields the identical
 // sequence.
-func Facebook(cfg FacebookConfig) ([]fluid.JobSpec, error) {
+func Facebook(cfg FacebookConfig) ([]JobSpec, error) {
 	src, err := NewFacebookSource(cfg)
 	if err != nil {
 		return nil, err
 	}
-	specs := make([]fluid.JobSpec, 0, cfg.Jobs)
+	specs := make([]JobSpec, 0, cfg.Jobs)
 	for {
 		spec, ok, err := src.Next()
 		if err != nil {
@@ -158,7 +157,7 @@ func widthFor(size, taskDuration, capacity float64) float64 {
 // the random [1,5] priorities are a testbed-workload detail, and equal
 // priorities make the Fair baseline degrade to exact processor sharing, the
 // behaviour the paper's Fig. 7b reports.
-func Uniform(n int, size float64, seed int64) ([]fluid.JobSpec, error) {
+func Uniform(n int, size float64, seed int64) ([]JobSpec, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("trace: jobs must be positive, got %d", n)
 	}
@@ -166,9 +165,9 @@ func Uniform(n int, size float64, seed int64) ([]fluid.JobSpec, error) {
 		return nil, fmt.Errorf("trace: size must be positive, got %v", size)
 	}
 	_ = seed // retained for API stability; the uniform trace is deterministic
-	specs := make([]fluid.JobSpec, n)
+	specs := make([]JobSpec, n)
 	for i := range specs {
-		specs[i] = fluid.JobSpec{
+		specs[i] = JobSpec{
 			ID:       i + 1,
 			Arrival:  0,
 			Size:     size,
@@ -181,7 +180,7 @@ func Uniform(n int, size float64, seed int64) ([]fluid.JobSpec, error) {
 
 // WriteCSV serializes a trace as CSV with a header row:
 // id,arrival,size,width,priority.
-func WriteCSV(w io.Writer, specs []fluid.JobSpec) error {
+func WriteCSV(w io.Writer, specs []JobSpec) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"id", "arrival", "size", "width", "priority"}); err != nil {
 		return fmt.Errorf("trace: write header: %w", err)
@@ -208,7 +207,7 @@ func WriteCSV(w io.Writer, specs []fluid.JobSpec) error {
 // instead of loading the whole file; the records (and per-line errors) are
 // the same, though a malformed record past an invalid one now surfaces the
 // first error in line order rather than the CSV-syntax error first.
-func ReadCSV(r io.Reader) ([]fluid.JobSpec, error) {
+func ReadCSV(r io.Reader) ([]JobSpec, error) {
 	src, err := NewCSVSource(r)
 	if err != nil {
 		return nil, err
@@ -221,7 +220,7 @@ func ReadCSV(r io.Reader) ([]fluid.JobSpec, error) {
 // widths (strconv accepts "NaN", "Inf" and overflow-huge exponents that
 // round to +Inf — all of which would poison a simulation silently rather
 // than fail it).
-func validateSpec(s *fluid.JobSpec) error {
+func validateSpec(s *JobSpec) error {
 	if math.IsNaN(s.Arrival) || math.IsInf(s.Arrival, 0) || s.Arrival < 0 {
 		return fmt.Errorf("arrival %v out of range", s.Arrival)
 	}
