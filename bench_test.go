@@ -135,11 +135,15 @@ func scaleEnvInt(b *testing.B, key string, set func(int)) {
 
 // benchScaleTier runs one scale-tier experiment per iteration while a
 // background sampler reads the heap every 5ms, then reports the high-water
-// mark as peak-heap-bytes alongside the usual normalized-response metrics —
-// the two numbers BENCH_engine.json tracks for the scale tiers.
+// mark as peak-heap-bytes and the per-run wall time as wall_clock_s
+// alongside the usual normalized-response metrics — the numbers
+// BENCH_engine.json tracks for the scale tiers. wall_clock_s duplicates
+// ns/op in different units so cmd/lasmq-benchdiff can show scale-out wins in
+// human-readable seconds and gate on them like any other extra metric.
 func benchScaleTier(b *testing.B, opts experiments.Options, run func(experiments.Options) (*experiments.TraceResult, error)) {
 	b.Helper()
 	var peak uint64
+	var elapsed time.Duration
 	var last *experiments.TraceResult
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -162,7 +166,9 @@ func benchScaleTier(b *testing.B, opts experiments.Options, run func(experiments
 				}
 			}
 		}()
+		start := time.Now()
 		res, err := run(opts)
+		elapsed += time.Since(start)
 		close(stop)
 		if high := <-sampled; high > peak {
 			peak = high
@@ -173,6 +179,7 @@ func benchScaleTier(b *testing.B, opts experiments.Options, run func(experiments
 		last = res
 	}
 	b.ReportMetric(float64(peak), "peak-heap-bytes")
+	b.ReportMetric(elapsed.Seconds()/float64(b.N), "wall_clock_s")
 	for _, name := range experiments.PolicyOrder {
 		b.ReportMetric(last.Normalized[name], "norm"+name)
 	}
@@ -217,6 +224,37 @@ func BenchmarkScale10M(b *testing.B) {
 	scaleEnvInt(b, "LASMQ_SCALE10M_JOBS", func(n int) { opts.Scale10MJobs = n })
 	scaleEnvInt(b, "LASMQ_SCALE10M_SHARDS", func(n int) { opts.Shards = n })
 	benchScaleTier(b, opts, experiments.Scale10M)
+}
+
+// BenchmarkScale1MEngineSharded runs scale-1m on the task-level engine: the
+// streamed trace staged into map→reduce jobs on the fly and simulated task
+// by task — chaos failures, stragglers and speculation on — across 8
+// independent 20-container sub-clusters via engine.RunSharded.
+// LASMQ_SCALE1M_ENGINE_JOBS, LASMQ_SCALE1M_ENGINE_SHARDS and
+// LASMQ_SCALE1M_ENGINE_WORKERS override the scale (the race-enabled
+// `make bench-smoke` runs a small K=4 configuration with a real worker pool).
+func BenchmarkScale1MEngineSharded(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	scaleEnvInt(b, "LASMQ_SCALE1M_ENGINE_JOBS", func(n int) { opts.Scale1MJobs = n })
+	scaleEnvInt(b, "LASMQ_SCALE1M_ENGINE_SHARDS", func(n int) { opts.Shards = n })
+	scaleEnvInt(b, "LASMQ_SCALE1M_ENGINE_WORKERS", func(n int) { opts.ShardWorkers = n })
+	benchScaleTier(b, opts, experiments.Scale1MEngine)
+}
+
+// BenchmarkScale10MEngineSharded is the flagship engine scale-out tier: ten
+// million streamed jobs staged and simulated task by task across 8 sharded
+// sub-clusters (engine.RunSharded), with per-shard-deterministic chaos. On a
+// multi-core runner, wall_clock_s drops roughly with the worker count
+// (Workers is execution-only: results are DeepEqual for any value);
+// peak-heap-bytes stays bounded by live jobs, not trace length.
+// LASMQ_SCALE10M_ENGINE_JOBS, LASMQ_SCALE10M_ENGINE_SHARDS and
+// LASMQ_SCALE10M_ENGINE_WORKERS override the scale.
+func BenchmarkScale10MEngineSharded(b *testing.B) {
+	opts := experiments.Options{Seed: 1, Repeats: 1}
+	scaleEnvInt(b, "LASMQ_SCALE10M_ENGINE_JOBS", func(n int) { opts.Scale10MJobs = n })
+	scaleEnvInt(b, "LASMQ_SCALE10M_ENGINE_SHARDS", func(n int) { opts.Shards = n })
+	scaleEnvInt(b, "LASMQ_SCALE10M_ENGINE_WORKERS", func(n int) { opts.ShardWorkers = n })
+	benchScaleTier(b, opts, experiments.Scale10MEngine)
 }
 
 // BenchmarkFig8Queues regenerates Fig. 8a: the number-of-queues sweep

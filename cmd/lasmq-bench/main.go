@@ -7,7 +7,8 @@
 //
 //	lasmq-bench [-experiment all|fig1|fig3|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
 //	             table1|sjf-error|weights|adaptive|tradeoff|geo|
-//	             price-of-obliviousness|scale-100k|scale-1m|scale-10m]
+//	             price-of-obliviousness|scale-100k|scale-1m|scale-10m|
+//	             scale-1m-engine|scale-10m-engine]
 //	            [-seed N] [-repeats N] [-trace-jobs N] [-uniform-jobs N]
 //	            [-scale-jobs N] [-scale1m-jobs N] [-scale10m-jobs N]
 //	            [-shards K] [-shard-workers M]
@@ -17,10 +18,13 @@
 //	            [-trace-out FILE] [-trace-format jsonl|chrome]
 //
 // scale-100k (100,000 jobs, materialized), scale-1m (1,000,000 jobs, streamed
-// over -shards independent sub-clusters) and scale-10m (10,000,000 jobs, the
-// same machinery 10x longer) are stress tiers, not paper figures; "all" skips them in direct mode so reproduce-scale runs stay
-// figure-shaped (select them explicitly, or run replicated mode, where the
-// registry includes them).
+// over -shards independent sub-clusters), scale-10m (10,000,000 jobs, the
+// same machinery 10x longer) and their task-engine twins scale-1m-engine /
+// scale-10m-engine (the same streamed traces staged into map→reduce jobs and
+// simulated task by task with chaos injection, sharded via engine.RunSharded)
+// are stress tiers, not paper figures; "all" skips them in direct mode so
+// reproduce-scale runs stay figure-shaped (select them explicitly, or run
+// replicated mode, where the registry includes them).
 //
 // -cpuprofile and -memprofile capture pprof profiles of the selected
 // experiments (`go tool pprof` reads them), the same hooks `go test -bench`
@@ -64,7 +68,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment   = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k, scale-1m, scale-10m)")
+		experiment   = flag.String("experiment", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7a, fig7b, fig8a, fig8b, table1, sjf-error, weights, adaptive, tradeoff, geo, price-of-obliviousness, scale-100k, scale-1m, scale-10m, scale-1m-engine, scale-10m-engine)")
 		seed         = flag.Int64("seed", 1, "workload/trace synthesis seed")
 		repeats      = flag.Int("repeats", 1, "averaging repeats for cluster experiments")
 		traceJobs    = flag.Int("trace-jobs", 0, "heavy-tailed trace length (default: paper's 24443)")
@@ -176,6 +180,8 @@ func run() error {
 		"scale-100k":             showScale100k,
 		"scale-1m":               showScale1M,
 		"scale-10m":              showScale10M,
+		"scale-1m-engine":        showScale1MEngine,
+		"scale-10m-engine":       showScale10MEngine,
 	}
 	if *experiment != "all" {
 		runner, ok := runners[*experiment]
@@ -421,6 +427,26 @@ func showScale10M(opts experiments.Options) error {
 	fmt.Println("== Scale tier: streamed heavy-tailed trace at 10,000,000 jobs, sharded ==")
 	fmt.Print(res.Table())
 	return writeCSV("scale-10m", res.WriteCSV)
+}
+
+func showScale1MEngine(opts experiments.Options) error {
+	res, err := experiments.Scale1MEngine(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Scale tier: 1,000,000 staged jobs on the task engine, sharded, chaos on ==")
+	fmt.Print(res.Table())
+	return writeCSV("scale-1m-engine", res.WriteCSV)
+}
+
+func showScale10MEngine(opts experiments.Options) error {
+	res, err := experiments.Scale10MEngine(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Scale tier: 10,000,000 staged jobs on the task engine, sharded, chaos on ==")
+	fmt.Print(res.Table())
+	return writeCSV("scale-10m-engine", res.WriteCSV)
 }
 
 func showGeo(opts experiments.Options) error {

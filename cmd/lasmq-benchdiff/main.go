@@ -204,10 +204,12 @@ func printTable(w io.Writer, f *File) {
 		s := f.Speedup[name]
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f %7.2fx\n",
 			name, b.NsPerOp, c.NsPerOp, s["ns_op"], b.AllocsPerOp, c.AllocsPerOp, s["allocs_op"])
-		// Custom b.ReportMetric units (e.g. peak-heap-bytes) as sub-rows.
+		// Custom b.ReportMetric units (e.g. peak-heap-bytes, wall_clock_s)
+		// as sub-rows; fmtNum keeps fractional units like wall_clock_s
+		// readable instead of truncating them to integers.
 		for _, unit := range extraUnits(b, c) {
-			fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx\n",
-				"  "+unit, b.Extra[unit], c.Extra[unit], s[unit])
+			fmt.Fprintf(w, "%-28s %14s %14s %7.2fx\n",
+				"  "+unit, fmtNum(b.Extra[unit]), fmtNum(c.Extra[unit]), s[unit])
 		}
 	}
 	for name := range f.Current {
@@ -259,10 +261,21 @@ func checkRegressions(w io.Writer, f *File, maxRegress float64) error {
 	fmt.Fprintf(w, "\nREGRESSIONS (> %.0f%% over baseline):\n", 100*maxRegress)
 	fmt.Fprintf(w, "%-28s %-10s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "change")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-28s %-10s %14.0f %14.0f %+7.1f%%\n", r.name, r.metric, r.base, r.cur, r.pct)
+		fmt.Fprintf(w, "%-28s %-10s %14s %14s %+7.1f%%\n", r.name, r.metric, fmtNum(r.base), fmtNum(r.cur), r.pct)
 	}
 	return fmt.Errorf("%d metric(s) regressed by more than %.0f%% (re-baseline with `make bench-baseline` if intentional)",
 		len(rows), 100*maxRegress)
+}
+
+// fmtNum renders a metric value at a precision fit for its magnitude:
+// integral-scale values (bytes, counts, ns) print whole, small fractional
+// values (wall_clock_s on a fast tier, normalized ratios) keep three
+// decimals instead of truncating to 0.
+func fmtNum(v float64) string {
+	if v >= 1000 || v == float64(int64(v)) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
 }
 
 // extraUnits returns the custom-metric units present in both baseline and

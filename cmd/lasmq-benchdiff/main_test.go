@@ -49,6 +49,45 @@ func TestCheckRegressionsGatesExtraMetrics(t *testing.T) {
 	}
 }
 
+func TestPrintTableKeepsFractionalWallClock(t *testing.T) {
+	f := &File{
+		Baseline: map[string]Metrics{
+			"Scale10MEngineSharded": {NsPerOp: 4e9, Extra: map[string]float64{"wall_clock_s": 4.217}},
+		},
+		Current: map[string]Metrics{
+			"Scale10MEngineSharded": {NsPerOp: 2e9, Extra: map[string]float64{"wall_clock_s": 2.108}},
+		},
+	}
+	f.Speedup = speedups(f.Baseline, f.Current)
+	var out strings.Builder
+	printTable(&out, f)
+	// Sub-second wall-clock values must keep their decimals; the integer
+	// formatting used for ns/op and byte counts would render both as "4"/"2"
+	// and make the table useless for fast tiers.
+	if !strings.Contains(out.String(), "4.217") || !strings.Contains(out.String(), "2.108") {
+		t.Fatalf("fractional wall_clock_s lost its precision:\n%s", out.String())
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1048576, "1048576"},  // byte counts print whole
+		{2.5e9, "2500000000"}, // large ns/op values print whole
+		{4.217, "4.217"},      // small fractional metrics keep 3 decimals
+		{0.031, "0.031"},      // fast-tier wall clock survives
+		{7, "7"},              // integral small values stay bare
+		{1234.56, "1235"},     // >= 1000 rounds to whole
+	}
+	for _, c := range cases {
+		if got := fmtNum(c.v); got != c.want {
+			t.Errorf("fmtNum(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
 func TestPrintTableShowsExtraMetrics(t *testing.T) {
 	f := &File{
 		Baseline: map[string]Metrics{

@@ -170,8 +170,13 @@ type StreamResult struct {
 	// Makespan is the completion time of the last job.
 	Makespan float64
 	// Utilization is the time-averaged fraction of containers busy over the
-	// makespan.
+	// makespan: Busy / (Makespan * Containers).
 	Utilization float64
+	// Busy is the integral of busy containers over time (container-seconds of
+	// work actually executed, including failed and killed attempts). It is
+	// kept explicit, not just folded into Utilization, so sharded runs can
+	// fold per-shard results exactly: total busy over the global makespan.
+	Busy float64
 	// PeakUsage is the maximum number of containers simultaneously busy.
 	PeakUsage int
 	// SumResponse and SumService accumulate per-job response times and
@@ -251,8 +256,9 @@ func RunStream(src Source, policy sched.Scheduler, cfg Config, each func(JobResu
 	}
 	out.Scheduler = s.driver.Name()
 	out.Makespan = s.makespan
+	out.Busy = s.busyIntegral
 	if s.makespan > 0 {
-		out.Utilization = s.busyIntegral / (s.makespan * float64(s.cfg.Containers))
+		out.Utilization = out.Busy / (s.makespan * float64(s.cfg.Containers))
 	}
 	out.PeakUsage = s.peakUsage
 	out.Slab = pool.Stats()

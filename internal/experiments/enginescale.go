@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lasmq/internal/core"
+	"lasmq/internal/engine"
+	"lasmq/internal/sched"
+	"lasmq/internal/stats"
+	"lasmq/internal/substrate"
+	"lasmq/internal/trace"
+	"lasmq/internal/workload"
+)
+
+// Scale1MEngine is scale-1m on the task-level engine substrate: the same
+// streamed heavy-tailed trace, but every flat trace job is converted on the
+// fly into a structured map→reduce job (workload.NewStageSource) and
+// simulated task by task — discrete attempts, chaos failures, stragglers and
+// speculation included — across opts.Shards independent 20-container
+// sub-clusters (engine.RunSharded). The fluid tier answers "what does the
+// policy do to the fluid limit of this trace"; this tier answers the same
+// question where attempt bookkeeping and chaos live, at a per-job cost an
+// order of magnitude higher — which is exactly why it shards.
+func Scale1MEngine(opts Options) (*TraceResult, error) {
+	opts = opts.Defaults()
+	return scaleEngineStreamed(opts, opts.Scale1MJobs, "scale-1m-engine")
+}
+
+// Scale10MEngine is scale-1m-engine with the trace length turned up to ten
+// million jobs: the flagship engine scale-out tier.
+// BenchmarkScale10MEngineSharded records its wall-clock and peak heap in
+// BENCH_engine.json.
+func Scale10MEngine(opts Options) (*TraceResult, error) {
+	opts = opts.Defaults()
+	return scaleEngineStreamed(opts, opts.Scale10MJobs, "scale-10m-engine")
+}
+
+// engineScaleConfig is the per-run engine configuration of the engine scale
+// tiers: each of opts.Shards sub-clusters is a 20-container system with the
+// paper's 30-job admission cap and light chaos (1% failures, 2% stragglers,
+// speculation on), so the tier exercises the attempt/re-queue/kill paths the
+// fluid substrate cannot.
+func engineScaleConfig(opts Options) engine.ShardedConfig {
+	cfg := engine.DefaultConfig()
+	cfg.Containers = 20 * opts.Shards
+	cfg.MaxRunningJobs = 30
+	cfg.FailureProb = 0.01
+	cfg.StragglerProb = 0.02
+	cfg.StragglerFactor = 3
+	cfg.Speculation = true
+	cfg.Seed = opts.Seed
+	cfg.Probe = opts.Probe
+	return engine.ShardedConfig{Config: cfg, Shards: opts.Shards, Workers: opts.ShardWorkers}
+}
+
+// engineScaleLASMQ configures LAS_MQ for the engine scale tiers: trace job
+// sizes are normalized (mean ~20 container-seconds), so the first demotion
+// threshold drops to 1 as in the trace simulations; stage awareness and
+// demand ordering stay on — unlike flat fluid jobs, engine jobs have real
+// stage progress for the scheduler to see.
+func engineScaleLASMQ() (*core.LASMQ, error) {
+	cfg := core.DefaultConfig()
+	cfg.FirstThreshold = 1
+	return core.New(cfg)
+}
+
+// scaleEngineStreamed runs one engine scale tier: jobs total jobs across
+// opts.Shards independent 20-container sub-clusters, every shard pulling its
+// stride of a per-seed deterministic flat-trace generator and staging it
+// on the fly.
+func scaleEngineStreamed(opts Options, jobs int, label string) (*TraceResult, error) {
+	tcfg := trace.DefaultFacebookConfig()
+	tcfg.Jobs = jobs
+	tcfg.Seed = opts.Seed
+	// Global capacity scales with the shard count so every sub-cluster is
+	// the Fig. 7a system: 20 containers at load 0.9.
+	tcfg.Capacity = 20 * float64(opts.Shards)
+	scfg := engineScaleConfig(opts)
+	res := &TraceResult{
+		Mean:       make(map[string]float64, len(PolicyOrder)),
+		Normalized: make(map[string]float64, len(PolicyOrder)),
+	}
+	for _, name := range PolicyOrder {
+		newSource := func(shard int) (engine.Source, error) {
+			src, err := trace.NewFacebookSource(tcfg)
+			if err != nil {
+				return nil, err
+			}
+			return workload.NewStageSource(
+				substrate.Strided[substrate.JobSpec](src, shard, scfg.Shards),
+				workload.DefaultStageConfig())
+		}
+		newPol := func() (sched.Scheduler, error) { return newPolicy(name, engineScaleLASMQ) }
+		run, err := engine.RunSharded(newSource, newPol, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", label, name, err)
+		}
+		res.Mean[name] = run.MeanResponseTime()
+	}
+	fair := res.Mean[PolicyFair]
+	for _, name := range PolicyOrder {
+		res.Normalized[name] = stats.Normalized(fair, res.Mean[name])
+	}
+	return res, nil
+}

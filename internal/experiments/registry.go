@@ -228,6 +228,20 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			return traceCells(res), nil
 		}),
+		exp("scale-1m-engine", func(seed int64) ([]runner.Cell, error) {
+			res, err := Scale1MEngine(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
+		exp("scale-10m-engine", func(seed int64) ([]runner.Cell, error) {
+			res, err := Scale10MEngine(perSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			return traceCells(res), nil
+		}),
 	}
 }
 
@@ -270,6 +284,7 @@ func RegistryNames() []string {
 		"fig1", "fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
 		"sjf-error", "weights", "adaptive", "tradeoff", "geo",
 		"price-of-obliviousness", "scale-100k", "scale-1m", "scale-10m",
+		"scale-1m-engine", "scale-10m-engine",
 	}
 }
 

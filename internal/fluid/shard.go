@@ -1,27 +1,20 @@
 // Sharded simulation: the cluster is partitioned into Shards independent
 // sub-clusters of equal capacity, each simulated as its own streaming fluid
 // run over its own source, and the per-shard results are folded in shard
-// order. The two knobs are deliberately distinct:
-//
-//   - Shards is part of the simulated system. It changes results (jobs in
-//     different shards never share capacity) and therefore belongs in cache
-//     fingerprints. A Shards=1 run is byte-identical to an unsharded run.
-//   - Workers is execution parallelism only — how many OS threads advance
-//     shards concurrently, the way internal/runner fans seeds over a worker
-//     pool. Shards are independent simulations and the merge folds their
-//     results in shard-index order (never completion-race order, which
-//     would make floating-point sums racy), so Workers NEVER affects
-//     results: Workers=1 and Workers=8 are byte-identical.
+// order. The plan/pool/latch machinery is the substrate sharded-runner
+// kernel (substrate.PlanShards / substrate.RunShards — see
+// internal/substrate/shard.go for the Shards-vs-Workers contract); this file
+// owns only what is fluid-specific: capacity partitioning and the
+// StreamResult fold.
 package fluid
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"lasmq/internal/obs"
 	"lasmq/internal/sched"
+	"lasmq/internal/substrate"
 )
 
 // ShardedConfig parameterizes a sharded run. The embedded Config describes
@@ -29,7 +22,8 @@ import (
 // MaxRunningJobs (if set) applies per shard.
 type ShardedConfig struct {
 	Config
-	// Shards is the number of cluster partitions (>= 1; 0 means 1).
+	// Shards is the number of cluster partitions (>= 1; 0 means 1). Part of
+	// the simulated system: it changes results and is fingerprinted.
 	Shards int
 	// Workers bounds concurrently advancing shards; 0 means GOMAXPROCS.
 	// It never affects results. When a Probe is attached, execution is
@@ -47,91 +41,40 @@ type ShardedConfig struct {
 // shards, Utilization is total delivered service over total capacity across
 // the global makespan).
 func RunSharded(newSource func(shard int) (Source, error), newPolicy func() (sched.Scheduler, error), cfg ShardedConfig) (*StreamResult, error) {
-	if cfg.Shards == 0 {
-		cfg.Shards = 1
-	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("fluid: shards must be >= 1, got %d", cfg.Shards)
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("fluid: workers must be >= 0, got %d", cfg.Workers)
-	}
 	if newSource == nil || newPolicy == nil {
 		return nil, errors.New("fluid: nil source or policy constructor")
+	}
+	plan, err := substrate.PlanShards(cfg.Shards, cfg.Workers, cfg.Probe != nil)
+	if err != nil {
+		return nil, fmt.Errorf("fluid: %w", err)
 	}
 	if err := cfg.Config.validate(); err != nil {
 		return nil, err
 	}
 
 	shardCfg := cfg.Config
-	shardCfg.Capacity = cfg.Capacity / float64(cfg.Shards)
+	shardCfg.Capacity = cfg.Capacity / float64(plan.Shards)
 
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Shards {
-		workers = cfg.Shards
-	}
-	if cfg.Probe != nil {
-		workers = 1
-	}
-
-	results := make([]*StreamResult, cfg.Shards)
-	errs := make([]error, cfg.Shards)
-	runShard := func(shard int) {
+	results, err := substrate.RunShards(plan, func(shard int) (*StreamResult, error) {
 		src, err := newSource(shard)
 		if err != nil {
-			errs[shard] = err
-			return
+			return nil, err
 		}
 		policy, err := newPolicy()
 		if err != nil {
-			errs[shard] = err
-			return
+			return nil, err
 		}
-		results[shard], errs[shard] = RunStream(src, policy, shardCfg, nil)
-	}
-
-	if workers == 1 {
-		// Serial path: shards advance in index order (deterministic probe
-		// event stream).
-		for shard := 0; shard < cfg.Shards; shard++ {
-			runShard(shard)
-		}
-	} else {
-		// Work-stealing pool: every worker claims the next unstarted shard
-		// off a shared atomic counter the moment it goes idle, so a worker
-		// that drew light shards keeps pulling work while a heavy shard is
-		// still running — no dispatcher goroutine, no fixed assignment.
-		// Which worker runs a shard remains execution-only: workers write
-		// disjoint slots of the results grid and the fold below is in
-		// shard-index order, so the pool size (and the claim order) cannot
-		// affect the outcome.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					shard := int(next.Add(1)) - 1
-					if shard >= cfg.Shards {
-						return
-					}
-					runShard(shard)
-				}
-			}()
-		}
-		wg.Wait()
+		scfg := shardCfg
+		scfg.Probe = obs.ForShard(cfg.Probe, shard)
+		return RunStream(src, policy, scfg, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fluid: %w", err)
 	}
 
 	// Fold in shard-index order: deterministic float summation.
 	out := &StreamResult{}
 	for shard, r := range results {
-		if errs[shard] != nil {
-			return nil, fmt.Errorf("fluid: shard %d: %w", shard, errs[shard])
-		}
 		if shard == 0 {
 			out.Scheduler = r.Scheduler
 		}

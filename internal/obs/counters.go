@@ -103,6 +103,9 @@ type Counters struct {
 	s  CounterSnapshot
 	// backlog tracks submitted - admitted to maintain the high-water mark.
 	backlog int64
+	// shards holds the per-shard sub-sinks derived via ShardProbe, keyed by
+	// shard index (nil until a sharded run attaches this sink).
+	shards map[int]*Counters
 }
 
 // NewCounters returns an empty Counters sink.

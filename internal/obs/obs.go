@@ -128,15 +128,16 @@ func Multi(probes ...Probe) Probe {
 }
 
 // FindCounters returns the first Counters sink reachable from p — p itself
-// or a direct member of a Multi — so substrates can fold the final counter
-// snapshot into their Result.
+// or a member of a (possibly nested) Multi, recursing so the shard fan-in
+// built by ForShard stays transparent — so substrates can fold the final
+// counter snapshot into their Result.
 func FindCounters(p Probe) *Counters {
 	switch v := p.(type) {
 	case *Counters:
 		return v
 	case multi:
 		for _, q := range v {
-			if c, ok := q.(*Counters); ok {
+			if c := FindCounters(q); c != nil {
 				return c
 			}
 		}

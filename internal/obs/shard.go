@@ -1,0 +1,68 @@
+package obs
+
+// ShardSink is implemented by sinks that can attribute events to the shard
+// of a sharded run that emitted them. ShardProbe returns the probe a sharded
+// runner should hand to shard's sub-simulation; events sent to it are
+// recorded both globally and under the shard label.
+type ShardSink interface {
+	ShardProbe(shard int) Probe
+}
+
+// ForShard derives shard's view of p for a sharded run. Sinks that implement
+// ShardSink (Counters) get a shard-labelled sub-view; a Multi is rebuilt
+// member-wise; any other probe is returned unchanged, so event-stream sinks
+// (JSONL, ChromeTrace) keep receiving the fan-in exactly as before — the
+// sharded runners serialize execution whenever a probe is attached, so the
+// combined stream stays deterministic. A nil probe stays nil, preserving the
+// zero-overhead contract.
+func ForShard(p Probe, shard int) Probe {
+	switch v := p.(type) {
+	case nil:
+		return nil
+	case ShardSink:
+		return v.ShardProbe(shard)
+	case multi:
+		out := make([]Probe, len(v))
+		for i, q := range v {
+			out[i] = ForShard(q, shard)
+		}
+		return Multi(out...)
+	}
+	return p
+}
+
+// ShardProbe implements ShardSink: the returned probe feeds both the global
+// aggregates and a per-shard Counters, so SlabStats / round events of a
+// sharded run are queryable per shard (ShardSnapshot) as well as in total.
+func (c *Counters) ShardProbe(shard int) Probe {
+	c.mu.Lock()
+	if c.shards == nil {
+		c.shards = make(map[int]*Counters)
+	}
+	sub, ok := c.shards[shard]
+	if !ok {
+		sub = NewCounters()
+		c.shards[shard] = sub
+	}
+	c.mu.Unlock()
+	return Multi(c, sub)
+}
+
+// ShardSnapshot returns the aggregates of one shard's events and whether
+// that shard ever emitted any (i.e. a shard probe was derived for it).
+func (c *Counters) ShardSnapshot(shard int) (CounterSnapshot, bool) {
+	c.mu.Lock()
+	sub, ok := c.shards[shard]
+	c.mu.Unlock()
+	if !ok {
+		return CounterSnapshot{}, false
+	}
+	return sub.Snapshot(), true
+}
+
+// ShardCount reports how many shard-labelled sub-sinks have been derived.
+func (c *Counters) ShardCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shards)
+}

@@ -1,0 +1,131 @@
+// Sharded-runner kernel: the substrate-neutral machinery every sharded
+// simulation runs on. A sharded run partitions the simulated system into
+// Shards independent sub-systems, simulates each as its own run over its own
+// source instance (typically Strided over a fresh stream), and folds the
+// per-shard results in shard-index order. The two knobs are deliberately
+// distinct:
+//
+//   - Shards is part of the simulated system. It changes results (jobs in
+//     different shards never share capacity) and therefore belongs in cache
+//     fingerprints. A Shards=1 run is byte-identical to an unsharded run.
+//   - Workers is execution parallelism only — how many OS threads advance
+//     shards concurrently, the way internal/runner fans seeds over a worker
+//     pool. Shards are independent simulations, workers write disjoint result
+//     slots, and the caller folds in shard-index order (never completion-race
+//     order, which would make floating-point sums racy), so Workers NEVER
+//     affects results: Workers=1 and Workers=8 are byte-identical.
+//
+// The machinery lived in internal/fluid first (PR 7); it moved here so the
+// task-level engine's RunSharded is the same kernel instantiated over its own
+// StreamResult rather than a re-implementation.
+package substrate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardPlan is a validated, normalized execution shape for a sharded run:
+// how many shards are simulated and how many workers advance them. Build one
+// with PlanShards.
+type ShardPlan struct {
+	// Shards is the number of simulated partitions (>= 1).
+	Shards int
+	// Workers is the worker-pool size actually used (>= 1, <= Shards).
+	Workers int
+}
+
+// PlanShards validates and normalizes the two sharding knobs shared by every
+// substrate's sharded runner. shards is the number of simulated partitions
+// (0 means 1); workers bounds concurrently advancing shards and defaults to
+// runtime.GOMAXPROCS(0) when 0, so callers scale out to the machine without
+// picking a number. serialize forces Workers to 1 — substrates set it when a
+// probe is attached, so sinks need not be concurrency-safe and the event
+// stream stays deterministic; being execution-only, that cannot change
+// results either. Errors name the CLI flags (-shards, -shard-workers) that
+// feed the knobs.
+func PlanShards(shards, workers int, serialize bool) (ShardPlan, error) {
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 {
+		return ShardPlan{}, fmt.Errorf("shards (-shards) must be >= 1, got %d", shards)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return ShardPlan{}, fmt.Errorf("shard workers (-shard-workers) must be >= 1, got %d (0 selects GOMAXPROCS)", workers)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if serialize {
+		workers = 1
+	}
+	return ShardPlan{Shards: shards, Workers: workers}, nil
+}
+
+// RunShards executes run for every shard of the plan and returns the
+// per-shard results in shard-index order, ready for a deterministic fold.
+//
+// With Workers=1 shards advance serially in index order (the deterministic-
+// probe-stream path). Otherwise a work-stealing pool runs them: every worker
+// claims the next unstarted shard off a shared atomic counter the moment it
+// goes idle, so a worker that drew light shards keeps pulling work while a
+// heavy shard is still running — no dispatcher goroutine, no fixed
+// assignment. Which worker runs a shard remains execution-only: workers
+// write disjoint slots of the results grid, so the pool size (and the claim
+// order) cannot affect the outcome.
+//
+// Errors latch: the first failure stops further shards from being claimed
+// (already-running shards finish), and the error of the lowest-index failed
+// shard is returned, wrapped as "shard K: ...". With Workers=1 the latch
+// makes the run stop at the first failing shard, which is also the
+// lowest-index one, so serial error surfaces are deterministic.
+func RunShards[R any](plan ShardPlan, run func(shard int) (R, error)) ([]R, error) {
+	results := make([]R, plan.Shards)
+	errs := make([]error, plan.Shards)
+	var failed atomic.Bool
+	runShard := func(shard int) {
+		r, err := run(shard)
+		if err != nil {
+			errs[shard] = err
+			failed.Store(true)
+			return
+		}
+		results[shard] = r
+	}
+
+	if plan.Workers <= 1 {
+		for shard := 0; shard < plan.Shards && !failed.Load(); shard++ {
+			runShard(shard)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < plan.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					shard := int(next.Add(1)) - 1
+					if shard >= plan.Shards {
+						return
+					}
+					runShard(shard)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for shard, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", shard, err)
+		}
+	}
+	return results, nil
+}

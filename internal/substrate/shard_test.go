@@ -1,0 +1,263 @@
+package substrate
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanShardsDefaults(t *testing.T) {
+	p, err := PlanShards(0, 0, false)
+	if err != nil {
+		t.Fatalf("PlanShards(0,0): %v", err)
+	}
+	if p.Shards != 1 {
+		t.Fatalf("Shards = %d, want 1 (0 means 1)", p.Shards)
+	}
+	// Workers defaults to GOMAXPROCS then clamps to Shards.
+	if p.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1 (clamped to shards)", p.Workers)
+	}
+
+	want := runtime.GOMAXPROCS(0)
+	p, err = PlanShards(want+7, 0, false)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p.Workers != want {
+		t.Fatalf("Workers = %d, want GOMAXPROCS default %d", p.Workers, want)
+	}
+}
+
+func TestPlanShardsValidation(t *testing.T) {
+	if _, err := PlanShards(-2, 1, false); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("negative shards error should name the -shards flag, got %v", err)
+	}
+	if _, err := PlanShards(4, -1, false); err == nil || !strings.Contains(err.Error(), "-shard-workers") {
+		t.Fatalf("negative workers error should name the -shard-workers flag, got %v", err)
+	}
+}
+
+func TestPlanShardsClampAndSerialize(t *testing.T) {
+	p, err := PlanShards(3, 16, false)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p.Workers != 3 {
+		t.Fatalf("Workers = %d, want clamp to 3 shards", p.Workers)
+	}
+	p, err = PlanShards(8, 8, true)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if p.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1 under serialize", p.Workers)
+	}
+}
+
+func TestRunShardsOrderAndResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		plan := ShardPlan{Shards: 9, Workers: workers}
+		got, err := RunShards(plan, func(shard int) (int, error) {
+			return shard * shard, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 9 {
+			t.Fatalf("workers=%d: %d results, want 9", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d (results must land in shard-index order)", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunShardsErrorNamesShardIndex(t *testing.T) {
+	sentinel := errors.New("source exploded")
+	for _, workers := range []int{1, 4} {
+		_, err := RunShards(ShardPlan{Shards: 6, Workers: workers}, func(shard int) (int, error) {
+			if shard == 3 {
+				return 0, sentinel
+			}
+			return shard, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v should wrap the shard's error", workers, err)
+		}
+		if !strings.Contains(err.Error(), "shard 3") {
+			t.Fatalf("workers=%d: error %q should carry the failed shard index", workers, err)
+		}
+	}
+}
+
+func TestRunShardsLowestIndexErrorWins(t *testing.T) {
+	// Two shards fail; the reported error must be the lowest-index one
+	// regardless of completion order.
+	_, err := RunShards(ShardPlan{Shards: 8, Workers: 4}, func(shard int) (int, error) {
+		if shard == 2 || shard == 6 {
+			return 0, fmt.Errorf("boom %d", shard)
+		}
+		return shard, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("error %v, want the lowest failed shard (2) reported", err)
+	}
+}
+
+func TestRunShardsSerialErrorLatch(t *testing.T) {
+	// With Workers=1 the first failure stops later shards from running at all.
+	var ran atomic.Int64
+	_, err := RunShards(ShardPlan{Shards: 5, Workers: 1}, func(shard int) (int, error) {
+		ran.Add(1)
+		if shard == 1 {
+			return 0, errors.New("stop here")
+		}
+		return shard, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n != 2 {
+		t.Fatalf("ran %d shards, want 2 (latch stops the serial loop)", n)
+	}
+}
+
+func TestRunShardsWorkStealing(t *testing.T) {
+	// More shards than workers: every shard must still run exactly once.
+	var ran atomic.Int64
+	got, err := RunShards(ShardPlan{Shards: 32, Workers: 4}, func(shard int) (int, error) {
+		ran.Add(1)
+		return shard, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 32 {
+		t.Fatalf("ran %d shards, want 32", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+// More shards than items: the high shards see empty strided streams and must
+// yield valid empty results that fold cleanly (the sharded runners' zero
+// StreamResult), not errors.
+func TestStridedMoreShardsThanItems(t *testing.T) {
+	const shards = 8
+	items := []int{10, 20, 30} // fewer items than shards
+	var total int
+	for shard := 0; shard < shards; shard++ {
+		s := Strided(SliceStream(items), shard, shards)
+		n := 0
+		for {
+			v, ok, err := s.Next()
+			if err != nil {
+				t.Fatalf("shard %d: %v", shard, err)
+			}
+			if !ok {
+				break
+			}
+			if v != items[shard] {
+				t.Fatalf("shard %d got %d, want %d", shard, v, items[shard])
+			}
+			n++
+			total++
+		}
+		if shard < len(items) && n != 1 {
+			t.Fatalf("shard %d yielded %d items, want 1", shard, n)
+		}
+		if shard >= len(items) && n != 0 {
+			t.Fatalf("empty shard %d yielded %d items, want 0", shard, n)
+		}
+		// Exhausted streams must stay exhausted.
+		if _, ok, err := s.Next(); ok || err != nil {
+			t.Fatalf("shard %d: Next after exhaustion = (%v, %v)", shard, ok, err)
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("shards saw %d items total, want %d", total, len(items))
+	}
+}
+
+type errStream struct {
+	items []int
+	i     int
+	err   error
+}
+
+func (s *errStream) Next() (int, bool, error) {
+	if s.i >= len(s.items) {
+		return 0, false, s.err
+	}
+	v := s.items[s.i]
+	s.i++
+	return v, true, nil
+}
+
+// A source error inside shard k>0's strided stream must propagate out of the
+// sharded run with the shard index attached.
+func TestStridedErrorSurfacesWithShardIndex(t *testing.T) {
+	sentinel := errors.New("read failed")
+	const shards = 4
+	results, err := RunShards(ShardPlan{Shards: shards, Workers: 1}, func(shard int) (int, error) {
+		src := Strided[int](&errStream{items: []int{1, 2, 3, 4, 5, 6}, err: sentinel}, shard, shards)
+		sum := 0
+		for {
+			v, ok, err := src.Next()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return sum, nil
+			}
+			sum += v
+		}
+	})
+	if results != nil {
+		t.Fatalf("results = %v, want nil on error", results)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v should wrap the source error", err)
+	}
+	// Shard 0 hits the latched error first (serial order), so the surfaced
+	// index is 0 here; the shard-k>0 case needs shard 0 to succeed.
+	if !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("error %q should carry a shard index", err)
+	}
+
+	// Now only shard 2 errors: index 2 must be named.
+	_, err = RunShards(ShardPlan{Shards: shards, Workers: 1}, func(shard int) (int, error) {
+		var src Stream[int]
+		if shard == 2 {
+			src = Strided[int](&errStream{items: []int{1, 2, 3, 4, 5, 6}, err: sentinel}, shard, shards)
+		} else {
+			src = Strided(SliceStream([]int{1, 2, 3, 4, 5, 6}), shard, shards)
+		}
+		sum := 0
+		for {
+			v, ok, err := src.Next()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return sum, nil
+			}
+			sum += v
+		}
+	})
+	if !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("error %v, want source error surfaced as shard 2", err)
+	}
+}

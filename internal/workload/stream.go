@@ -1,0 +1,119 @@
+// Streaming flat-trace adapter: converts the streaming kernel's flat
+// JobSpecs (the trace substrate's output — total size, width, arrival) into
+// the engine's structured map→reduce job.Specs on the fly, so the task-level
+// engine can consume the same million-job trace streams the fluid simulator
+// does without materializing a workload. The conversion is deterministic and
+// RNG-free — a pure function of each flat spec — so two passes over the same
+// trace stream yield identical staged sequences, the property the sharded
+// engine's Shards/Workers contracts rest on.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lasmq/internal/job"
+	"lasmq/internal/substrate"
+)
+
+// StageConfig controls the flat→staged conversion.
+type StageConfig struct {
+	// MaxMaps caps the map-stage task count; a flat job of width w becomes
+	// min(max(1, floor(w)), MaxMaps) map tasks so huge trace widths don't
+	// explode per-job task state in million-job runs.
+	MaxMaps int
+	// ReduceFraction is the fraction of a job's total service spent in the
+	// reduce stage (the remainder is split evenly across map tasks). Zero
+	// yields single-stage map-only jobs.
+	ReduceFraction float64
+}
+
+// DefaultStageConfig mirrors the Table I shape at trace scale: up to 4-wide
+// map stages and a 20% reduce tail on ReduceContainers containers.
+func DefaultStageConfig() StageConfig {
+	return StageConfig{MaxMaps: 4, ReduceFraction: 0.2}
+}
+
+func (c StageConfig) validate() error {
+	if c.MaxMaps < 1 {
+		return fmt.Errorf("workload: stage source max maps must be >= 1, got %d", c.MaxMaps)
+	}
+	if c.ReduceFraction < 0 || c.ReduceFraction >= 1 {
+		return fmt.Errorf("workload: stage source reduce fraction must be in [0,1), got %v", c.ReduceFraction)
+	}
+	return nil
+}
+
+// NewStageSource adapts a flat trace stream to a structured engine source:
+// each flat job of total size S and width w becomes a map stage of
+// m = min(max(1, floor(w)), cfg.MaxMaps) single-container tasks of duration
+// S*(1-ReduceFraction)/m each, followed (when ReduceFraction > 0) by one
+// reduce task of S*ReduceFraction/ReduceContainers seconds on
+// ReduceContainers containers, so the job's total container-time is exactly
+// S and its attained-service trajectory is comparable across substrates.
+// The returned stream reuses its spec backings between Next calls — legal
+// against engine.RunStream, which deep-copies specs into pooled records.
+func NewStageSource(src substrate.Stream[substrate.JobSpec], cfg StageConfig) (substrate.Stream[job.Spec], error) {
+	if src == nil {
+		return nil, errors.New("workload: nil stage source stream")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &stageSource{src: src, cfg: cfg}
+	s.tasks = make([]job.TaskSpec, 0, cfg.MaxMaps)
+	return s, nil
+}
+
+type stageSource struct {
+	src substrate.Stream[substrate.JobSpec]
+	cfg StageConfig
+
+	// Reused spec backings (engine.RunStream deep-copies on Pop).
+	stages [2]job.StageSpec
+	tasks  []job.TaskSpec
+	reduce [1]job.TaskSpec
+}
+
+func (s *stageSource) Next() (job.Spec, bool, error) {
+	flat, ok, err := s.src.Next()
+	if !ok || err != nil {
+		return job.Spec{}, false, err
+	}
+	if flat.Size <= 0 {
+		return job.Spec{}, false, fmt.Errorf("workload: stage source: job %d has non-positive size %v", flat.ID, flat.Size)
+	}
+
+	maps := int(math.Floor(flat.Width))
+	if maps < 1 {
+		maps = 1
+	}
+	if maps > s.cfg.MaxMaps {
+		maps = s.cfg.MaxMaps
+	}
+	mapService := flat.Size * (1 - s.cfg.ReduceFraction)
+	s.tasks = s.tasks[:maps]
+	per := mapService / float64(maps)
+	for i := range s.tasks {
+		s.tasks[i] = job.TaskSpec{Duration: per, Containers: 1}
+	}
+	s.stages[0] = job.StageSpec{Name: "map", Tasks: s.tasks}
+
+	spec := job.Spec{
+		ID:       flat.ID,
+		Arrival:  flat.Arrival,
+		Priority: flat.Priority,
+		SizeHint: flat.SizeHint,
+		Stages:   s.stages[:1],
+	}
+	if s.cfg.ReduceFraction > 0 {
+		s.reduce[0] = job.TaskSpec{
+			Duration:   flat.Size * s.cfg.ReduceFraction / ReduceContainers,
+			Containers: ReduceContainers,
+		}
+		s.stages[1] = job.StageSpec{Name: "reduce", Tasks: s.reduce[:]}
+		spec.Stages = s.stages[:2]
+	}
+	return spec, true, nil
+}

@@ -1,0 +1,133 @@
+package workload_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lasmq/internal/job"
+	"lasmq/internal/substrate"
+	"lasmq/internal/workload"
+)
+
+func flatJobs() []substrate.JobSpec {
+	return []substrate.JobSpec{
+		{ID: 1, Arrival: 0, Size: 30, Width: 3, Priority: 2},
+		{ID: 2, Arrival: 1.5, Size: 8, Width: 0.4, Priority: 5, SizeHint: 9},
+		{ID: 3, Arrival: 2, Size: 200, Width: 64, Priority: 1},
+	}
+}
+
+func drain(t *testing.T, src substrate.Stream[job.Spec]) []job.Spec {
+	t.Helper()
+	var out []job.Spec
+	for {
+		spec, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		// Deep-copy: the stream reuses its backings between Next calls.
+		stages := make([]job.StageSpec, len(spec.Stages))
+		for i, st := range spec.Stages {
+			stages[i] = st
+			stages[i].Tasks = append([]job.TaskSpec(nil), st.Tasks...)
+		}
+		spec.Stages = stages
+		out = append(out, spec)
+	}
+}
+
+// TestStageSourceShape pins the conversion contract: width-derived map
+// counts capped at MaxMaps, a ReduceContainers-wide reduce tail, valid specs,
+// and total container-time exactly equal to the flat size.
+func TestStageSourceShape(t *testing.T) {
+	src, err := workload.NewStageSource(substrate.SliceStream(flatJobs()), workload.DefaultStageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := drain(t, src)
+	if len(specs) != 3 {
+		t.Fatalf("%d specs, want 3", len(specs))
+	}
+	wantMaps := []int{3, 1, 4} // floor(width) clamped to [1, MaxMaps=4]
+	for i, spec := range specs {
+		flat := flatJobs()[i]
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("job %d: converted spec invalid: %v", flat.ID, err)
+		}
+		if spec.ID != flat.ID || spec.Arrival != flat.Arrival || spec.Priority != flat.Priority || spec.SizeHint != flat.SizeHint {
+			t.Fatalf("job %d: identity fields not carried over: %+v", flat.ID, spec)
+		}
+		if len(spec.Stages) != 2 {
+			t.Fatalf("job %d: %d stages, want 2", flat.ID, len(spec.Stages))
+		}
+		if got := len(spec.Stages[0].Tasks); got != wantMaps[i] {
+			t.Fatalf("job %d: %d map tasks, want %d", flat.ID, got, wantMaps[i])
+		}
+		reduce := spec.Stages[1].Tasks
+		if len(reduce) != 1 || reduce[0].Containers != workload.ReduceContainers {
+			t.Fatalf("job %d: reduce stage = %+v", flat.ID, reduce)
+		}
+		var total float64
+		for _, st := range spec.Stages {
+			for _, task := range st.Tasks {
+				total += task.Duration * float64(task.Containers)
+			}
+		}
+		if math.Abs(total-flat.Size) > 1e-9 {
+			t.Fatalf("job %d: total container-time %v, want size %v", flat.ID, total, flat.Size)
+		}
+	}
+}
+
+// TestStageSourceDeterministic pins that two passes over the same flat
+// stream yield identical staged sequences (the conversion is RNG-free).
+func TestStageSourceDeterministic(t *testing.T) {
+	mk := func() []job.Spec {
+		src, err := workload.NewStageSource(substrate.SliceStream(flatJobs()), workload.DefaultStageConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, src)
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("two passes diverged:\n %+v\n %+v", a, b)
+	}
+}
+
+// TestStageSourceMapOnly pins ReduceFraction=0: single-stage jobs, full
+// service in the map stage.
+func TestStageSourceMapOnly(t *testing.T) {
+	src, err := workload.NewStageSource(substrate.SliceStream(flatJobs()), workload.StageConfig{MaxMaps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range drain(t, src) {
+		if len(spec.Stages) != 1 {
+			t.Fatalf("job %d: %d stages, want 1 (map-only)", spec.ID, len(spec.Stages))
+		}
+	}
+}
+
+func TestStageSourceValidation(t *testing.T) {
+	if _, err := workload.NewStageSource(nil, workload.DefaultStageConfig()); err == nil {
+		t.Fatal("nil stream should fail")
+	}
+	if _, err := workload.NewStageSource(substrate.SliceStream(flatJobs()), workload.StageConfig{MaxMaps: 0}); err == nil || !strings.Contains(err.Error(), "max maps") {
+		t.Fatalf("MaxMaps=0 should fail, got %v", err)
+	}
+	if _, err := workload.NewStageSource(substrate.SliceStream(flatJobs()), workload.StageConfig{MaxMaps: 1, ReduceFraction: 1}); err == nil || !strings.Contains(err.Error(), "reduce fraction") {
+		t.Fatalf("ReduceFraction=1 should fail, got %v", err)
+	}
+	src, err := workload.NewStageSource(substrate.SliceStream([]substrate.JobSpec{{ID: 9, Size: 0, Width: 1}}), workload.DefaultStageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.Next(); err == nil || !strings.Contains(err.Error(), "non-positive size") {
+		t.Fatalf("zero-size flat job should surface an error, got %v", err)
+	}
+}
