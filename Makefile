@@ -83,6 +83,7 @@ bench_engine.out:
 	$(GO) test -run '^$$' -bench '$(HEAVY_BENCH)' -benchmem -benchtime=3x . > bench_engine.out
 	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchmem -benchtime=300x . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRound$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
+	$(GO) test -run '^$$' -bench '^BenchmarkScheduleRoundProbed$$' -benchmem -benchtime=300x ./internal/engine >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale100k$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale1M$$' -benchmem -benchtime=1x -timeout 30m . >> bench_engine.out
 	$(GO) test -run '^$$' -bench '^BenchmarkScale10M$$' -benchmem -benchtime=1x -timeout 60m . >> bench_engine.out
@@ -106,11 +107,14 @@ bench-smoke:
 	LASMQ_SCALE10M_ENGINE_JOBS=6000 LASMQ_SCALE10M_ENGINE_SHARDS=4 LASMQ_SCALE10M_ENGINE_WORKERS=4 \
 		$(GO) test -race -run '^$$' -bench . -benchtime=1x ./...
 
-# Telemetry must be free when off: a scheduling round with a nil probe may
-# not allocate (testing.AllocsPerRun == 0). Run -count=1 so a cached pass
-# cannot mask a regression introduced by an unrelated package.
+# Telemetry must be free when off, and cheap when on: a scheduling round
+# with a nil probe may not allocate (testing.AllocsPerRun == 0), and neither
+# may recording one flight-recorder ring event or one histogram observation.
+# Run -count=1 so a cached pass cannot mask a regression introduced by an
+# unrelated package.
 probe-gate:
 	$(GO) test -run '^TestScheduleRoundNilProbeZeroAlloc$$' -count=1 ./internal/engine
+	$(GO) test -run '^TestZeroAlloc' -count=1 ./internal/obs
 
 # Analytic M/M/1 cross-check: drive the fluid and engine substrates with
 # M/M/1 workloads at rho in {0.5, 0.7, 0.9} and assert FIFO/PS/SRPT/LAS

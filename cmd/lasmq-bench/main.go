@@ -16,6 +16,7 @@
 //	            [-seeds N] [-workers M] [-cache DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-trace-out FILE] [-trace-format jsonl|chrome]
+//	            [-hist-out FILE] [-series-out FILE] [-series-window W]
 //
 // scale-100k (100,000 jobs, materialized), scale-1m (1,000,000 jobs, streamed
 // over -shards independent sub-clusters), scale-10m (10,000,000 jobs, the
@@ -50,6 +51,7 @@ import (
 
 	"lasmq/internal/cli"
 	"lasmq/internal/experiments"
+	"lasmq/internal/obs"
 	"lasmq/internal/runner"
 )
 
@@ -86,6 +88,9 @@ func run() error {
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		traceOut     = flag.String("trace-out", "", "write a scheduler event trace of the selected experiments to this file (direct mode only)")
 		traceFormat  = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats())
+		histOut      = flag.String("hist-out", "", "write the selected experiments' latency histograms as CSV to this file (direct mode only)")
+		seriesOut    = flag.String("series-out", "", "write the windowed utilization/queue-depth series as CSV to this file (direct mode only)")
+		seriesWin    = flag.Float64("series-window", 50, "series sampling window in cluster seconds")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -139,6 +144,9 @@ func run() error {
 		if *traceOut != "" {
 			return fmt.Errorf("-trace-out requires direct mode: the replication engine runs experiments on concurrent workers, which would interleave one trace file")
 		}
+		if *histOut != "" || *seriesOut != "" {
+			return fmt.Errorf("-hist-out/-series-out require direct mode: the replication engine runs experiments on concurrent workers, which would interleave one sink")
+		}
 		return runReplicated(opts, runner.Options{
 			Seeds:    *seeds,
 			BaseSeed: *seed,
@@ -151,12 +159,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts.Probe = sink.Probe()
+	// The series utilization denominator is per-experiment cluster capacity,
+	// which varies across the registry; 20 containers is the Fig. 7a system
+	// most experiments run on.
+	hsink, err := cli.OpenHistSink(*histOut, *seriesOut, *seriesWin, 20)
+	if err != nil {
+		return err
+	}
+	opts.Probe = obs.Multi(sink.Probe(), hsink.Probe())
 	finishTrace := func() error {
 		if err := sink.Close(); err != nil {
 			return err
 		}
+		if err := hsink.Close(); err != nil {
+			return err
+		}
 		sink.PrintSummary(os.Stdout)
+		hsink.PrintSummary(os.Stdout)
 		return nil
 	}
 

@@ -8,10 +8,19 @@
 //	           [-nodes 4] [-containers-per-node 30] [-max-running 30]
 //	           [-time-scale 500us] [-interval 30] [-debug-addr :8090]
 //
-// -debug-addr serves live scheduler telemetry (job/task counts, queue
-// demotions, admission backlog — see internal/obs) as JSON on
-// http://ADDR/debug/schedvars while the workload runs, expvar-style; the
-// same counters print as a summary when the run drains.
+// The ResourceManager's probe is a lock-free flight-recorder ring
+// (obs.Ring): the scheduling goroutine records fixed-size events with no
+// locks and no allocation, and a consumer goroutine drains them into the
+// aggregating sinks (counters, histograms, round-sampled series) off the
+// hot path. -debug-addr serves that telemetry while the workload runs:
+//
+//	/metrics          Prometheus text exposition (counters + histograms)
+//	/debug/schedvars  counter snapshot as JSON, expvar-style
+//	/debug/schedhist  latency histograms (quantiles + buckets) as JSON
+//
+// The same counters print as a summary when the run drains; the HTTP
+// server is shut down cleanly (listener closed, in-flight scrapes drained)
+// before the process exits.
 package main
 
 import (
@@ -61,17 +70,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The ResourceManager emits all probe events from its single scheduling
+	// goroutine, so a single-producer flight-recorder ring can replace the
+	// mutex-guarded sinks on the hot path; the recorder goroutine is the one
+	// consumer, folding events into the aggregating sinks.
+	ring := obs.NewRing(1 << 16)
 	counters := obs.NewCounters()
+	hists := obs.NewHistograms()
+	series := obs.NewSeries(10, *nodes**perNode)
+	rec := startRecorder(ring, obs.Multi(counters, hists, series))
 	cfg := yarn.Config{
 		Nodes:             *nodes,
 		ContainersPerNode: *perNode,
 		MaxRunningJobs:    *maxRunning,
 		TimeScale:         *timeScale,
 		HeartbeatInterval: 10 * *timeScale,
-		Probe:             counters,
+		Probe:             ring,
 	}
+	var stopDebug func() error
 	if *debugAddr != "" {
-		if err := serveDebug(*debugAddr, counters); err != nil {
+		stopDebug, err = serveDebug(*debugAddr, counters, hists)
+		if err != nil {
 			return err
 		}
 	}
@@ -114,6 +133,16 @@ func run() error {
 	}
 	wall := time.Since(start)
 
+	// The run is over: fold the ring's remaining events into the sinks so
+	// the summary below is complete, then retire the debug server — closing
+	// its listener and draining in-flight scrapes — before reporting.
+	lost := rec.stop()
+	if stopDebug != nil {
+		if err := stopDebug(); err != nil {
+			return fmt.Errorf("debug server shutdown: %w", err)
+		}
+	}
+
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	responses := make([]float64, 0, len(reports))
 	bins := make([]int, 0, len(reports))
@@ -131,16 +160,67 @@ func run() error {
 	fmt.Println("telemetry:")
 	snap := counters.Snapshot()
 	snap.WriteSummary(os.Stdout)
+	if resp, ok := hists.Histogram(obs.HistResponse); ok && resp.Count() > 0 {
+		s := resp.Snapshot()
+		fmt.Printf("  response hist  p50 %.4g  p90 %.4g  p99 %.4g (n=%d)\n", s.P50, s.P90, s.P99, s.Count)
+	}
+	fmt.Printf("  flight recorder %d event(s) recorded, %d lost\n", ring.Recorded(), lost)
 	return nil
 }
 
-// serveDebug exposes the counters on an expvar-style HTTP endpoint. The
-// obs.Counters sink is internally locked, so snapshots taken by request
-// handlers are safe against the ResourceManager's concurrent updates.
-func serveDebug(addr string, counters *obs.Counters) error {
+// recorder is the flight-recorder ring's single consumer: a goroutine that
+// periodically drains packed events into the aggregating sinks, keeping all
+// mutex-taking sink work off the ResourceManager's scheduling goroutine.
+type recorder struct {
+	ring *obs.Ring
+	sink obs.Probe
+	quit chan struct{}
+	done chan struct{}
+	lost uint64
+}
+
+func startRecorder(ring *obs.Ring, sink obs.Probe) *recorder {
+	rec := &recorder{ring: ring, sink: sink, quit: make(chan struct{}), done: make(chan struct{})}
+	go rec.loop()
+	return rec
+}
+
+func (rec *recorder) loop() {
+	defer close(rec.done)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rec.quit:
+			_, lost := rec.ring.Drain(rec.sink)
+			rec.lost += lost
+			return
+		case <-tick.C:
+			_, lost := rec.ring.Drain(rec.sink)
+			rec.lost += lost
+		}
+	}
+}
+
+// stop performs the final drain and reports how many events the recorder
+// lost to ring overwrites over the whole run (0 unless the consumer fell a
+// full ring behind the scheduler).
+func (rec *recorder) stop() uint64 {
+	close(rec.quit)
+	<-rec.done
+	return rec.lost
+}
+
+// serveDebug exposes live telemetry over HTTP: the counter snapshot as JSON
+// (expvar-style), the latency histograms as JSON, and both in Prometheus
+// text exposition on /metrics. The sinks are internally locked, so request
+// handlers are safe against the recorder goroutine's concurrent folding.
+// The returned function shuts the server down: it closes the listener and
+// waits for in-flight scrapes to drain.
+func serveDebug(addr string, counters *obs.Counters, hists *obs.Histograms) (func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/schedvars", func(w http.ResponseWriter, _ *http.Request) {
@@ -151,9 +231,27 @@ func serveDebug(addr string, counters *obs.Counters) error {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	fmt.Printf("telemetry endpoint: http://%s/debug/schedvars\n", ln.Addr())
-	go http.Serve(ln, mux) //nolint:errcheck // endpoint dies with the process
-	return nil
+	mux.HandleFunc("/debug/schedhist", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteSchedHist(w, hists); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := counters.Snapshot()
+		if err := obs.WritePrometheus(w, &snap, hists); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	fmt.Printf("telemetry endpoints: http://%s/metrics /debug/schedvars /debug/schedhist\n", ln.Addr())
+	return func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}, nil
 }
 
 // liveWorkload downsizes the Table I mix (task counts divided by ~6) so a

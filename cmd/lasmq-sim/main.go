@@ -8,12 +8,18 @@
 //	          [-capacity 20] [-jobs N] [-seed 1] [-queues 10] [-threshold 1]
 //	          [-step 10] [-decay 8] [-jobs-csv] [-cdf]
 //	          [-trace-out run.trace] [-trace-format jsonl|chrome]
+//	          [-hist-out hist.csv] [-series-out series.csv] [-series-window 50]
 //
 // -trace-out records every scheduler event (submissions, admissions, queue
 // demotions, completions) to a file: -trace-format jsonl is a deterministic
 // line-oriented log, chrome is Chrome trace-event JSON for Perfetto
-// (https://ui.perfetto.dev) or chrome://tracing. Tracing is observation
-// only — simulated results are identical with it on or off.
+// (https://ui.perfetto.dev) or chrome://tracing. -hist-out writes the run's
+// latency distributions (response, slowdown, admission wait, task duration,
+// scheduler round latency) as log-scale histogram CSVs with p50..p999
+// summary rows; -series-out writes a windowed virtual-time series
+// (utilization, per-queue depths, live jobs, events/sec) sampled every
+// -series-window cluster seconds. All of it is observation only — simulated
+// results are identical with telemetry on or off.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"lasmq/internal/cli"
 	"lasmq/internal/core"
 	"lasmq/internal/fluid"
+	"lasmq/internal/obs"
 	"lasmq/internal/trace"
 )
 
@@ -54,6 +61,9 @@ func run() error {
 
 		traceOut    = flag.String("trace-out", "", "write a scheduler event trace to this file (telemetry; results are unaffected)")
 		traceFormat = flag.String("trace-format", "jsonl", "event-trace format: "+cli.TraceFormats()+" (chrome opens in Perfetto / chrome://tracing)")
+		histOut     = flag.String("hist-out", "", "write latency histograms (response/slowdown/wait/task/round) as CSV to this file")
+		seriesOut   = flag.String("series-out", "", "write the windowed utilization/queue-depth series as CSV to this file")
+		seriesWin   = flag.Float64("series-window", 50, "series sampling window in cluster seconds")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -82,13 +92,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fcfg.Probe = sink.Probe()
+	hsink, err := cli.OpenHistSink(*histOut, *seriesOut, *seriesWin, int(fcfg.Capacity))
+	if err != nil {
+		return err
+	}
+	fcfg.Probe = obs.Multi(sink.Probe(), hsink.Probe())
 
 	res, err := fluid.Run(specs, policy, fcfg)
 	if err != nil {
 		return err
 	}
 	if err := sink.Close(); err != nil {
+		return err
+	}
+	if err := hsink.Close(); err != nil {
 		return err
 	}
 
@@ -109,6 +126,7 @@ func run() error {
 		cli.PrintCDF(os.Stdout, res.ResponseTimes(), 50)
 	}
 	sink.PrintSummary(os.Stdout)
+	hsink.PrintSummary(os.Stdout)
 	return nil
 }
 

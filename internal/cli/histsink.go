@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lasmq/internal/obs"
+)
+
+// HistSink bundles the distribution sinks behind the CLIs' -hist-out /
+// -series-out flags: mergeable log-scale histograms (job response, slowdown,
+// admission wait, task duration, per-round scheduler latency) and a windowed
+// virtual-time series (utilization, queue depths, live jobs, events/sec),
+// each written as CSV when the sink is closed. Like tracing, attaching the
+// sink never changes simulated results.
+type HistSink struct {
+	// Histograms aggregates the run's latency/size distributions.
+	Histograms *obs.Histograms
+	// Series samples gauge state on scheduling-round boundaries; nil when
+	// -series-out is unset.
+	Series *obs.Series
+
+	histPath, seriesPath string
+	histFile, seriesFile *os.File
+	probe                obs.Probe
+}
+
+// OpenHistSink creates the sinks for the given flag values; window and
+// capacity configure the series sampler (virtual seconds per point and the
+// cluster's container count, the utilization denominator). Both paths empty
+// returns (nil, nil): distribution telemetry off.
+func OpenHistSink(histPath, seriesPath string, window float64, capacity int) (*HistSink, error) {
+	if histPath == "" && seriesPath == "" {
+		return nil, nil
+	}
+	h := &HistSink{histPath: histPath, seriesPath: seriesPath}
+	var probes []obs.Probe
+	if histPath != "" {
+		f, err := os.Create(histPath)
+		if err != nil {
+			return nil, err
+		}
+		h.histFile = f
+		h.Histograms = obs.NewHistograms()
+		probes = append(probes, h.Histograms)
+	}
+	if seriesPath != "" {
+		f, err := os.Create(seriesPath)
+		if err != nil {
+			if h.histFile != nil {
+				h.histFile.Close()
+				os.Remove(histPath)
+			}
+			return nil, err
+		}
+		h.seriesFile = f
+		h.Series = obs.NewSeries(window, capacity)
+		probes = append(probes, h.Series)
+	}
+	h.probe = obs.Multi(probes...)
+	return h, nil
+}
+
+// Probe returns the probe to attach to the run. Safe on a nil sink (returns
+// nil: distribution telemetry off, zero overhead).
+func (h *HistSink) Probe() obs.Probe {
+	if h == nil {
+		return nil
+	}
+	return h.probe
+}
+
+// Close writes the CSVs and closes the files. Safe on a nil sink.
+func (h *HistSink) Close() error {
+	if h == nil {
+		return nil
+	}
+	if h.histFile != nil {
+		err := obs.WriteHistogramCSV(h.histFile, h.Histograms)
+		if cerr := h.histFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("histograms %s: %w", h.histPath, err)
+		}
+	}
+	if h.seriesFile != nil {
+		err := h.Series.WriteCSV(h.seriesFile)
+		if cerr := h.seriesFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("series %s: %w", h.seriesPath, err)
+		}
+	}
+	return nil
+}
+
+// PrintSummary writes the response-time tail and the output paths to w.
+// Safe on a nil sink (no output).
+func (h *HistSink) PrintSummary(w io.Writer) {
+	if h == nil {
+		return
+	}
+	if h.Histograms != nil {
+		resp, ok := h.Histograms.Histogram(obs.HistResponse)
+		if ok && resp.Count() > 0 {
+			s := resp.Snapshot()
+			fmt.Fprintf(w, "response histogram (written to %s): n=%d p50=%.4g p90=%.4g p95=%.4g p99=%.4g p999=%.4g\n",
+				h.histPath, s.Count, s.P50, s.P90, s.P95, s.P99, s.P999)
+		} else {
+			fmt.Fprintf(w, "histograms written to %s\n", h.histPath)
+		}
+	}
+	if h.Series != nil {
+		fmt.Fprintf(w, "series (written to %s): %d point(s), %d event(s)\n",
+			h.seriesPath, len(h.Series.Points()), h.Series.Events())
+	}
+}

@@ -23,8 +23,11 @@ func benchLASMQ(tb testing.TB) sched.Scheduler {
 }
 
 // BenchmarkScheduleRoundProbed measures the steady-state scheduling round
-// with no probe attached against the same round feeding the obs.Counters
-// sink — the overhead a user pays for live telemetry.
+// with no probe attached against the same round feeding each sink family:
+// the mutex-guarded obs.Counters, the lock-free obs.Ring flight recorder,
+// and the obs.Histograms distribution sink — the overhead a user pays for
+// each flavor of live telemetry (ring-vs-counters is the number
+// BENCH_engine.json tracks).
 func BenchmarkScheduleRoundProbed(b *testing.B) {
 	cases := []struct {
 		name  string
@@ -32,6 +35,8 @@ func BenchmarkScheduleRoundProbed(b *testing.B) {
 	}{
 		{"nil", nil},
 		{"counters", obs.NewCounters()},
+		{"ring", obs.NewRing(1 << 16)},
+		{"histograms", obs.NewHistograms()},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

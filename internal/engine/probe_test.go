@@ -34,7 +34,8 @@ func TestProbedMatchesUnprobed(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seed %d unprobed: %v", seed, err)
 				}
-				cfg.Probe = obs.Multi(obs.NewCounters(), obs.NewJSONL(io.Discard), obs.NewChromeTrace())
+				cfg.Probe = obs.Multi(obs.NewCounters(), obs.NewJSONL(io.Discard), obs.NewChromeTrace(),
+					obs.NewRing(1<<12), obs.NewHistograms(), obs.NewSeries(50, cfg.Containers))
 				probed, err := engine.Run(specs, mk(), cfg)
 				if err != nil {
 					t.Fatalf("seed %d probed: %v", seed, err)

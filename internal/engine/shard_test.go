@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -254,5 +255,69 @@ func TestEngineShardedProbePerShardCounters(t *testing.T) {
 	}
 	if global.SlabPeakLive != peak {
 		t.Fatalf("global slab peak %d, max per-shard %d", global.SlabPeakLive, peak)
+	}
+}
+
+// TestEngineShardedHistogramMerge is the histogram merge contract over the
+// sharded engine, 3 seeds x 4 policies with chaos on: a Histograms sink
+// attached to a K-shard run must (a) not perturb results, (b) see every
+// completion exactly once globally, and (c) satisfy the shard-merge
+// identity — folding the per-shard histograms in ascending shard-index
+// order reproduces the global histogram bucket-for-bucket, so the K-shard
+// merged distribution IS the run's single global distribution. For K=1 the
+// same identity pins the sharded fan-in against the plain stream sink.
+func TestEngineShardedHistogramMerge(t *testing.T) {
+	policies := diffPolicies(t)
+	const shards = 4
+	for _, seed := range []int64{1, 7, 42} {
+		specs := diffWorkload(seed, 90)
+		for _, name := range shardPolicyNames {
+			newPolicy := policies[name]
+			cfg := streamChaosConfig(seed)
+			cfg.Containers = 40
+			newSource := func(shard int) (engine.Source, error) {
+				return shardSource(specs, shard, shards), nil
+			}
+			newPol := func() (sched.Scheduler, error) { return newPolicy(), nil }
+
+			bare, err := engine.RunSharded(newSource, newPol,
+				engine.ShardedConfig{Config: cfg, Shards: shards, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := obs.NewHistograms()
+			pcfg := cfg
+			pcfg.Probe = h
+			probed, err := engine.RunSharded(newSource, newPol,
+				engine.ShardedConfig{Config: pcfg, Shards: shards, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(bare, probed) {
+				t.Fatalf("seed %d %s: histogram sink perturbed sharded results", seed, name)
+			}
+			if got := len(h.ShardIndexes()); got != shards {
+				t.Fatalf("seed %d %s: %d shard histograms derived, want %d", seed, name, got, shards)
+			}
+			for _, hist := range []string{obs.HistResponse, obs.HistTaskDuration, obs.HistAdmissionWait} {
+				global, ok := h.Histogram(hist)
+				if !ok {
+					t.Fatalf("unknown histogram %q", hist)
+				}
+				merged := h.MergeShards(hist)
+				if !merged.BucketsEqual(&global) {
+					t.Fatalf("seed %d %s: shard-merged %s histogram differs from the global sink bucket-for-bucket",
+						seed, name, hist)
+				}
+			}
+			resp, _ := h.Histogram(obs.HistResponse)
+			if int(resp.Count()) != probed.Jobs || probed.Jobs != len(specs) {
+				t.Fatalf("seed %d %s: response histogram saw %d jobs, run completed %d of %d",
+					seed, name, resp.Count(), probed.Jobs, len(specs))
+			}
+			if mean := resp.Sum() / float64(resp.Count()); math.Abs(mean-probed.MeanResponseTime()) > 1e-9*math.Abs(mean) {
+				t.Fatalf("seed %d %s: histogram mean %g != stream mean %g", seed, name, mean, probed.MeanResponseTime())
+			}
+		}
 	}
 }

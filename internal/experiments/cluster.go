@@ -18,6 +18,9 @@ type PolicyStats struct {
 	MeanResponse float64
 	// BinMeans is the average response time per Table I input-size bin.
 	BinMeans map[int]float64
+	// BinResponses retains the per-job response times per bin (the samples
+	// behind BinMeans), so CSVs can report per-bin tails, not just means.
+	BinResponses map[int][]float64
 	// Responses are the per-job response times (for CDFs), concatenated
 	// across repeats.
 	Responses []float64
@@ -58,14 +61,10 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 		Normalized:   make(map[string]float64, len(PolicyOrder)),
 	}
 	for _, name := range PolicyOrder {
-		res.ByPolicy[name] = &PolicyStats{BinMeans: make(map[int]float64)}
-	}
-
-	binSums := make(map[string]map[int]float64)
-	binCounts := make(map[string]map[int]int)
-	for _, name := range PolicyOrder {
-		binSums[name] = make(map[int]float64)
-		binCounts[name] = make(map[int]int)
+		res.ByPolicy[name] = &PolicyStats{
+			BinMeans:     make(map[int]float64),
+			BinResponses: make(map[int][]float64),
+		}
 	}
 
 	for rep := 0; rep < opts.Repeats; rep++ {
@@ -93,8 +92,7 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 			for _, jr := range run.Jobs {
 				ps.Responses = append(ps.Responses, jr.ResponseTime)
 				ps.Slowdowns = append(ps.Slowdowns, jr.ResponseTime/isolated[jr.ID])
-				binSums[name][jr.Bin] += jr.ResponseTime
-				binCounts[name][jr.Bin]++
+				ps.BinResponses[jr.Bin] = append(ps.BinResponses[jr.Bin], jr.ResponseTime)
 			}
 		}
 	}
@@ -102,8 +100,8 @@ func RunCluster(meanInterval float64, opts Options) (*ClusterResult, error) {
 	for _, name := range PolicyOrder {
 		ps := res.ByPolicy[name]
 		ps.MeanResponse = stats.Mean(ps.Responses)
-		for bin, sum := range binSums[name] {
-			ps.BinMeans[bin] = sum / float64(binCounts[name][bin])
+		for bin, rs := range ps.BinResponses { // range-ok: commutative fold
+			ps.BinMeans[bin] = stats.Mean(rs)
 		}
 	}
 	fair := res.ByPolicy[PolicyFair].MeanResponse

@@ -7,20 +7,36 @@ import (
 	"lasmq/internal/stats"
 )
 
+// percentileHeader is the tail-columns suffix every response-time CSV
+// shares; percentileFields fills it from one sample (empty fields when the
+// raw responses were not retained, e.g. the streamed scale tiers).
+const percentileHeader = ",p50,p90,p95,p99,p999"
+
+func percentileFields(values []float64) string {
+	if len(values) == 0 {
+		return ",,,,,"
+	}
+	s := stats.Summarize(values)
+	return fmt.Sprintf(",%g,%g,%g,%g,%g", s.P50, s.P90, s.P95, s.P99, s.P999)
+}
+
 // WriteCSV emits the experiment's plottable series: one row per
-// (policy, bin) mean plus overall means, as the paper's Fig. 5b/6b bars.
+// (policy, bin) mean plus overall means, as the paper's Fig. 5b/6b bars,
+// each with its response-time tail.
 func (r *ClusterResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "policy,bin,mean_response"); err != nil {
+	if _, err := fmt.Fprintln(w, "policy,bin,mean_response"+percentileHeader); err != nil {
 		return err
 	}
 	for _, name := range PolicyOrder {
 		ps := r.ByPolicy[name]
 		for bin := 1; bin <= 4; bin++ {
-			if _, err := fmt.Fprintf(w, "%s,%d,%g\n", name, bin, ps.BinMeans[bin]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%d,%g%s\n",
+				name, bin, ps.BinMeans[bin], percentileFields(ps.BinResponses[bin])); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s,all,%g\n", name, ps.MeanResponse); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,all,%g%s\n",
+			name, ps.MeanResponse, percentileFields(ps.Responses)); err != nil {
 			return err
 		}
 	}
@@ -73,13 +89,16 @@ func (r *ClusterResult) WriteSlowdownCSV(w io.Writer, points int) error {
 	return nil
 }
 
-// WriteCSV emits the trace experiment's bars (Fig. 7).
+// WriteCSV emits the trace experiment's bars (Fig. 7) with response-time
+// tails; the percentile fields are empty for the streamed scale tiers, which
+// do not retain per-job responses.
 func (r *TraceResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "policy,mean_response,normalized_vs_fair"); err != nil {
+	if _, err := fmt.Fprintln(w, "policy,mean_response,normalized_vs_fair"+percentileHeader); err != nil {
 		return err
 	}
 	for _, name := range PolicyOrder {
-		if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, r.Mean[name], r.Normalized[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g%s\n",
+			name, r.Mean[name], r.Normalized[name], percentileFields(r.Responses[name])); err != nil {
 			return err
 		}
 	}

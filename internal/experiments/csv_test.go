@@ -15,6 +15,7 @@ func sampleClusterResult() *ClusterResult {
 		res.ByPolicy[name] = &PolicyStats{
 			MeanResponse: float64(100 * (i + 1)),
 			BinMeans:     map[int]float64{1: 10, 2: 20, 3: 30, 4: 40},
+			BinResponses: map[int][]float64{1: {10}, 2: {20}, 3: {30}, 4: {40}},
 			Responses:    []float64{1, 2, 3, 4, 5},
 			Slowdowns:    []float64{1, 1.5, 2},
 		}
@@ -29,10 +30,12 @@ func TestClusterWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.HasPrefix(out, "policy,bin,mean_response\n") {
+	if !strings.HasPrefix(out, "policy,bin,mean_response,p50,p90,p95,p99,p999\n") {
 		t.Errorf("missing header:\n%s", out)
 	}
-	for _, want := range []string{"LAS_MQ,1,10", "FIFO,all,400", "FAIR,4,40"} {
+	// Bin rows carry per-bin tails (single-sample bins: every percentile is
+	// the sample); the "all" row summarizes the overall responses {1..5}.
+	for _, want := range []string{"LAS_MQ,1,10,10,10,10,10,10", "FIFO,all,400,3,", "FAIR,4,40,40,40,40,40,40"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing row %q:\n%s", want, out)
 		}
@@ -71,13 +74,19 @@ func TestTraceWriteCSV(t *testing.T) {
 	res := &TraceResult{
 		Mean:       map[string]float64{PolicyLASMQ: 1, PolicyLAS: 2, PolicyFair: 3, PolicyFIFO: 4},
 		Normalized: map[string]float64{PolicyLASMQ: 3, PolicyLAS: 1.5, PolicyFair: 1, PolicyFIFO: 0.75},
+		Responses:  map[string][]float64{PolicyLASMQ: {1, 1, 1}},
 	}
 	var b strings.Builder
 	if err := res.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "LAS_MQ,1,3") || !strings.Contains(out, "FIFO,4,0.75") {
+	if !strings.HasPrefix(out, "policy,mean_response,normalized_vs_fair,p50,p90,p95,p99,p999\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// LAS_MQ retained responses so its tail is populated; FIFO did not
+	// (streamed scale tiers), so its percentile fields stay empty.
+	if !strings.Contains(out, "LAS_MQ,1,3,1,1,1,1,1") || !strings.Contains(out, "FIFO,4,0.75,,,,,") {
 		t.Errorf("rows missing:\n%s", out)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"lasmq/internal/dist"
 	"lasmq/internal/fluid"
 	"lasmq/internal/sched"
+	"lasmq/internal/stats"
 	"lasmq/internal/workload"
 )
 
@@ -89,6 +90,10 @@ type PriceResult struct {
 	// Normalized is each policy's mean over PS's (the oblivious sharing
 	// reference): < 1 beats blind sharing, > 1 pays for obliviousness.
 	Normalized map[string]float64
+	// Responses retains the per-job response times per policy: the
+	// information hierarchy shows sharpest in the tail, so the sweep
+	// reports percentiles alongside the means.
+	Responses map[string][]float64
 }
 
 // priceStageTotals returns a type's expected map-stage and reduce-stage
@@ -181,6 +186,7 @@ func PriceOfObliviousness(opts Options) (*PriceResult, error) {
 	res := &PriceResult{
 		Mean:       make(map[string]float64, len(PricePolicyOrder)),
 		Normalized: make(map[string]float64, len(PricePolicyOrder)),
+		Responses:  make(map[string][]float64, len(PricePolicyOrder)),
 	}
 	for _, name := range PricePolicyOrder {
 		var policy sched.Scheduler
@@ -212,6 +218,7 @@ func PriceOfObliviousness(opts Options) (*PriceResult, error) {
 			return nil, fmt.Errorf("price-of-obliviousness %s: %w", name, err)
 		}
 		res.Mean[name] = run.MeanResponseTime()
+		res.Responses[name] = run.ResponseTimes()
 	}
 	ps := res.Mean[PolicyPS]
 	for _, name := range PricePolicyOrder {
@@ -224,28 +231,35 @@ func PriceOfObliviousness(opts Options) (*PriceResult, error) {
 	return res, nil
 }
 
-// Table renders the sweep, most-informed policy first.
+// Table renders the sweep, most-informed policy first; the tail columns are
+// where the information hierarchy separates hardest.
 func (r *PriceResult) Table() string {
-	header := []string{"policy", "mean response", "norm(vs PS)"}
+	header := []string{"policy", "mean response", "norm(vs PS)", "p50", "p95", "p99"}
 	var rows [][]string
 	for _, name := range PricePolicyOrder {
+		s := stats.Summarize(r.Responses[name])
 		rows = append(rows, []string{
 			name,
 			fmt.Sprintf("%.4g", r.Mean[name]),
 			fmt.Sprintf("%.3f", r.Normalized[name]),
+			fmt.Sprintf("%.4g", s.P50),
+			fmt.Sprintf("%.4g", s.P95),
+			fmt.Sprintf("%.4g", s.P99),
 		})
 	}
 	return renderTable(header, rows)
 }
 
-// WriteCSV emits the sweep in rank order: policy, mean response, and the
-// ratio against PS.
+// WriteCSV emits the sweep in rank order: policy, mean response, the ratio
+// against PS, and the response-time tail — where the information hierarchy
+// separates hardest.
 func (r *PriceResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "policy,mean_response,normalized_vs_ps"); err != nil {
+	if _, err := fmt.Fprintln(w, "policy,mean_response,normalized_vs_ps"+percentileHeader); err != nil {
 		return err
 	}
 	for _, name := range PricePolicyOrder {
-		if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, r.Mean[name], r.Normalized[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g%s\n",
+			name, r.Mean[name], r.Normalized[name], percentileFields(r.Responses[name])); err != nil {
 			return err
 		}
 	}

@@ -57,7 +57,7 @@ func TestPriceResultCSV(t *testing.T) {
 	if want := len(experiments.PricePolicyOrder) + 1; len(lines) != want {
 		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), want, b.String())
 	}
-	if lines[0] != "policy,mean_response,normalized_vs_ps" {
+	if lines[0] != "policy,mean_response,normalized_vs_ps,p50,p90,p95,p99,p999" {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 	for i, name := range experiments.PricePolicyOrder {

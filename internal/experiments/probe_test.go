@@ -28,7 +28,8 @@ func TestProbedMatchesUnprobedAcrossRegistry(t *testing.T) {
 					t.Fatalf("seed %d unprobed: %v", seed, err)
 				}
 				probed := base
-				probed.Probe = obs.Multi(obs.NewCounters(), obs.NewJSONL(io.Discard), obs.NewChromeTrace())
+				probed.Probe = obs.Multi(obs.NewCounters(), obs.NewJSONL(io.Discard), obs.NewChromeTrace(),
+					obs.NewRing(1<<12), obs.NewHistograms(), obs.NewSeries(50, 0))
 				probedSample, err := Registry(probed)[i].Run(seed)
 				if err != nil {
 					t.Fatalf("seed %d probed: %v", seed, err)

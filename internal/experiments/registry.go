@@ -201,9 +201,13 @@ func Registry(opts Options) []runner.Experiment {
 			}
 			var cells []runner.Cell
 			for _, name := range PricePolicyOrder {
+				s := stats.Summarize(res.Responses[name])
 				cells = append(cells,
 					runner.Cell{Group: name, Key: "mean", Value: res.Mean[name]},
-					runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]})
+					runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]},
+					runner.Cell{Group: name, Key: "p50", Value: s.P50},
+					runner.Cell{Group: name, Key: "p95", Value: s.P95},
+					runner.Cell{Group: name, Key: "p99", Value: s.P99})
 			}
 			return cells, nil
 		}),
@@ -257,9 +261,13 @@ func clusterCells(res *ClusterResult) []runner.Cell {
 			})
 		}
 		s := stats.Summarize(ps.Slowdowns)
+		r := stats.Summarize(ps.Responses)
 		cells = append(cells,
 			runner.Cell{Group: name, Key: "all", Value: ps.MeanResponse},
 			runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]},
+			runner.Cell{Group: name, Key: "p50", Value: r.P50},
+			runner.Cell{Group: name, Key: "p95", Value: r.P95},
+			runner.Cell{Group: name, Key: "p99", Value: r.P99},
 			runner.Cell{Group: name, Key: "slowdown_mean", Value: s.Mean},
 			runner.Cell{Group: name, Key: "slowdown_p99", Value: s.P99},
 			runner.Cell{Group: name, Key: "jain", Value: stats.JainIndex(ps.Slowdowns)})
@@ -267,13 +275,23 @@ func clusterCells(res *ClusterResult) []runner.Cell {
 	return cells
 }
 
-// traceCells flattens a TraceResult (Fig. 7) into metric cells.
+// traceCells flattens a TraceResult (Fig. 7) into metric cells. Response
+// percentiles appear only where the experiment retained raw responses — the
+// streamed scale tiers report means alone so their cell sets stay identical
+// across retention policies.
 func traceCells(res *TraceResult) []runner.Cell {
 	var cells []runner.Cell
 	for _, name := range PolicyOrder {
 		cells = append(cells,
 			runner.Cell{Group: name, Key: "mean", Value: res.Mean[name]},
 			runner.Cell{Group: name, Key: "norm", Value: res.Normalized[name]})
+		if rs := res.Responses[name]; len(rs) > 0 {
+			s := stats.Summarize(rs)
+			cells = append(cells,
+				runner.Cell{Group: name, Key: "p50", Value: s.P50},
+				runner.Cell{Group: name, Key: "p95", Value: s.P95},
+				runner.Cell{Group: name, Key: "p99", Value: s.P99})
+		}
 	}
 	return cells
 }

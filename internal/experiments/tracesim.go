@@ -16,6 +16,11 @@ type TraceResult struct {
 	Mean map[string]float64
 	// Normalized is Fair's mean over each policy's mean.
 	Normalized map[string]float64
+	// Responses retains the per-job response times per policy. The
+	// materialized-trace experiments (fig7a/fig7b/scale-100k) populate it for
+	// percentile reporting; the streamed scale tiers leave it nil — retaining
+	// tens of millions of samples would defeat their bounded-heap contract.
+	Responses map[string][]float64
 	// Slowdowns per policy (only populated when keepDetail).
 	Slowdowns map[string][]float64
 }
@@ -148,6 +153,7 @@ func runTrace(specs []fluid.JobSpec, fcfg fluid.Config, mq func() (*core.LASMQ, 
 	res := &TraceResult{
 		Mean:       make(map[string]float64, len(PolicyOrder)),
 		Normalized: make(map[string]float64, len(PolicyOrder)),
+		Responses:  make(map[string][]float64, len(PolicyOrder)),
 		Slowdowns:  make(map[string][]float64, len(PolicyOrder)),
 	}
 	for _, name := range PolicyOrder {
@@ -160,6 +166,7 @@ func runTrace(specs []fluid.JobSpec, fcfg fluid.Config, mq func() (*core.LASMQ, 
 			return nil, fmt.Errorf("trace sim %s: %w", name, err)
 		}
 		res.Mean[name] = run.MeanResponseTime()
+		res.Responses[name] = run.ResponseTimes()
 		res.Slowdowns[name] = run.Slowdowns()
 	}
 	fair := res.Mean[PolicyFair]
@@ -169,16 +176,28 @@ func runTrace(specs []fluid.JobSpec, fcfg fluid.Config, mq func() (*core.LASMQ, 
 	return res, nil
 }
 
-// Table renders mean response times per policy (Fig. 7 bars).
+// Table renders mean response times per policy (Fig. 7 bars) with the
+// response-time tail where per-job responses were retained ("-" in the
+// streamed scale tiers, which keep means only).
 func (r *TraceResult) Table() string {
-	header := []string{"policy", "mean response", "norm(vs FAIR)"}
+	header := []string{"policy", "mean response", "norm(vs FAIR)", "p50", "p95", "p99"}
 	var rows [][]string
 	for _, name := range PolicyOrder {
-		rows = append(rows, []string{
+		row := []string{
 			name,
 			fmt.Sprintf("%.4g", r.Mean[name]),
 			fmt.Sprintf("%.2f", r.Normalized[name]),
-		})
+		}
+		if rs := r.Responses[name]; len(rs) > 0 {
+			s := stats.Summarize(rs)
+			row = append(row,
+				fmt.Sprintf("%.4g", s.P50),
+				fmt.Sprintf("%.4g", s.P95),
+				fmt.Sprintf("%.4g", s.P99))
+		} else {
+			row = append(row, "-", "-", "-")
+		}
+		rows = append(rows, row)
 	}
 	return renderTable(header, rows)
 }

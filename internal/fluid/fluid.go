@@ -292,6 +292,11 @@ type sim struct {
 	adm    *substrate.Queue[*fluidJob]
 	*arena
 
+	// slowdowns receives per-job slowdowns at completion, resolved once from
+	// the probe (obs.FindHistograms). Slowdown is fluid-derived state, not a
+	// probe event, so it reaches the histogram sink through this side-channel.
+	slowdowns obs.SlowdownObserver
+
 	cur    arrivalCursor
 	finish func(j *fluidJob, jr JobResult) // per-completion sink
 	now    float64
@@ -316,6 +321,9 @@ func newSim(specs []JobSpec, policy sched.Scheduler, cfg Config) *sim {
 	s.cur = &substrate.SliceCursor[fluidJob]{List: ar.pending, Arrival: fluidJobArrival}
 	s.finish = func(j *fluidJob, jr JobResult) { s.results[j.spec.ID] = jr }
 	s.driver.SetProbe(cfg.Probe)
+	if h := obs.FindHistograms(cfg.Probe); h != nil {
+		s.slowdowns = h
+	}
 	if s.probe != nil {
 		s.probe.ArenaReuse(len(specs), 0, reused)
 	}
@@ -453,6 +461,9 @@ func (s *sim) run() error {
 				}
 				if s.probe != nil {
 					s.probe.JobDone(s.now, j.spec.ID, response)
+				}
+				if s.slowdowns != nil {
+					s.slowdowns.ObserveSlowdown(jr.Slowdown)
 				}
 				s.finish(j, jr)
 				continue

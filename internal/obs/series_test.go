@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeriesSampling drives a small synthetic run through the Series sink
+// and checks the gauges, windowing and CSV shape.
+func TestSeriesSampling(t *testing.T) {
+	s := NewSeries(10, 4)
+	s.JobSubmitted(0, 1)
+	s.JobSubmitted(0, 2)
+	s.QueueEnter(0, 1, 0)
+	s.QueueEnter(0, 2, 0)
+	s.TaskStart(0, 1, 0, 0, 1, false)
+	s.TaskStart(0, 2, 0, 0, 1, false)
+	s.RoundExecuted(0, 2) // establishes the window origin, no point yet
+	if len(s.Points()) != 0 {
+		t.Fatal("first round boundary should only start the window")
+	}
+	s.QueueDemote(5, 1, 0, 1, 100)
+	s.RoundExecuted(5, 2) // inside the window: no sample
+	if len(s.Points()) != 0 {
+		t.Fatal("mid-window round sampled a point")
+	}
+	s.TaskDone(12, 2, 0, 0, 0, false)
+	s.JobDone(12, 2, 12)
+	s.QueueExit(12, 2, 0)
+	s.RoundExecuted(12, 1) // crosses the t=10 edge: sample
+	pts := s.Points()
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.Time != 12 || pt.LiveJobs != 1 || pt.RunningTasks != 1 {
+		t.Fatalf("point = %+v, want time 12, 1 live job, 1 running task", pt)
+	}
+	if pt.QueueDepth[0] != 0 || pt.QueueDepth[1] != 1 {
+		t.Fatalf("queue depths = %v, want job 1 demoted to level 1", pt.QueueDepth)
+	}
+	if pt.Utilization != 0.25 {
+		t.Fatalf("utilization = %g, want 1/4", pt.Utilization)
+	}
+	if pt.EventsPerSec <= 0 {
+		t.Fatalf("events/sec = %g, want > 0", pt.EventsPerSec)
+	}
+
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 point", len(lines))
+	}
+	if want := "time,utilization,live_jobs,running_tasks,events_per_sec,q0,q1,q2,q3,q4,q5,q6,q7"; lines[0] != want {
+		t.Fatalf("CSV header = %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "12,0.25,1,1,") {
+		t.Fatalf("CSV point = %q", lines[1])
+	}
+}
+
+// TestSeriesDeepLevelsClamp checks queue levels beyond SeriesLevels fold
+// into the last tracked slot instead of indexing out of bounds.
+func TestSeriesDeepLevelsClamp(t *testing.T) {
+	s := NewSeries(1, 0)
+	s.QueueEnter(0, 1, SeriesLevels+5)
+	s.QueueDemote(0, 1, SeriesLevels+5, SeriesLevels+6, 1)
+	s.RoundExecuted(0, 1)
+	s.RoundExecuted(2, 1)
+	pts := s.Points()
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	if d := pts[0].QueueDepth[SeriesLevels-1]; d != 1 {
+		t.Fatalf("deep level depth = %d, want 1 (clamped)", d)
+	}
+}

@@ -1,5 +1,11 @@
 package obs
 
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
 // ShardSink is implemented by sinks that can attribute events to the shard
 // of a sharded run that emitted them. ShardProbe returns the probe a sharded
 // runner should hand to shard's sub-simulation; events sent to it are
@@ -65,4 +71,36 @@ func (c *Counters) ShardCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.shards)
+}
+
+// ShardIndexes returns the derived shard indexes in ascending order. Every
+// summary/JSON surface iterates shards through this, never the map itself,
+// so output order cannot depend on Go's map iteration (pinned by test).
+func (c *Counters) ShardIndexes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := make([]int, 0, len(c.shards))
+	for i := range c.shards { // range-ok: indexes are sorted before use
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// WriteSummary prints the global snapshot followed by a one-line-per-shard
+// breakdown in ascending shard-index order (empty for unsharded runs). It
+// is the deterministic-order counterpart of CounterSnapshot.WriteSummary
+// for sinks that saw a sharded run.
+func (c *Counters) WriteSummary(w io.Writer) {
+	c.Snapshot().WriteSummary(w)
+	for _, i := range c.ShardIndexes() {
+		snap, ok := c.ShardSnapshot(i)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  shard %-3d jobs %d/%d/%d tasks %d/%d/%d rounds %d/%d\n",
+			i, snap.JobsSubmitted, snap.JobsAdmitted, snap.JobsCompleted,
+			snap.TasksLaunched, snap.TasksCompleted, snap.TaskFailures,
+			snap.RoundsExecuted, snap.RoundsSkipped)
+	}
 }

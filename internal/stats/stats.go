@@ -17,7 +17,9 @@ type Summary struct {
 	Max    float64
 	P50    float64
 	P90    float64
+	P95    float64
 	P99    float64
+	P999   float64
 	StdDev float64
 }
 
@@ -48,7 +50,9 @@ func Summarize(values []float64) Summary {
 		Max:    sorted[len(sorted)-1],
 		P50:    percentileSorted(sorted, 0.50),
 		P90:    percentileSorted(sorted, 0.90),
+		P95:    percentileSorted(sorted, 0.95),
 		P99:    percentileSorted(sorted, 0.99),
+		P999:   percentileSorted(sorted, 0.999),
 		StdDev: math.Sqrt(variance),
 	}
 }

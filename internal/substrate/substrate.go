@@ -30,6 +30,7 @@ package substrate
 
 import (
 	"math"
+	"time"
 
 	"lasmq/internal/obs"
 	"lasmq/internal/sched"
@@ -49,6 +50,11 @@ type Driver struct {
 	hinter    sched.Hinter
 	alloc     sched.Assignment
 	probe     obs.Probe
+	// latency receives the wall-clock seconds each round spends inside the
+	// policy, resolved once at SetProbe. It is a side-channel, not a Probe
+	// event: wall-clock readings differ run to run, and the deterministic
+	// event-stream sinks (JSONL, ChromeTrace) must never see them.
+	latency obs.RoundLatencyObserver
 
 	// Observation gating for skipped rounds: obsHorizon is the earliest time
 	// the policy's state could change, valid while dirty is false.
@@ -83,6 +89,10 @@ func (d *Driver) Policy() sched.Scheduler { return d.policy }
 // obs.ProbeSetter. A nil probe detaches telemetry everywhere.
 func (d *Driver) SetProbe(p obs.Probe) {
 	d.probe = p
+	d.latency = nil
+	if h := obs.FindHistograms(p); h != nil {
+		d.latency = h
+	}
 	if ps, ok := d.policy.(obs.ProbeSetter); ok {
 		ps.SetProbe(p)
 	}
@@ -100,6 +110,21 @@ func (d *Driver) Assign(now, capacity float64, views []sched.JobView) sched.Assi
 	d.dirty = true
 	if d.probe != nil {
 		d.probe.RoundExecuted(now, len(views))
+	}
+	if d.latency != nil {
+		// Time only the policy invocation (wall-clock), feeding the
+		// round-latency histogram. Guarded so unprobed runs never touch the
+		// clock — the nil-probe path stays branch-and-return.
+		start := time.Now()
+		var out sched.Assignment
+		if d.buffered != nil {
+			d.buffered.AssignInto(now, capacity, views, d.alloc)
+			out = d.alloc
+		} else {
+			out = d.policy.Assign(now, capacity, views)
+		}
+		d.latency.ObserveRoundLatency(time.Since(start).Seconds())
+		return out
 	}
 	if d.buffered != nil {
 		d.buffered.AssignInto(now, capacity, views, d.alloc)
